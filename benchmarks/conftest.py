@@ -1,0 +1,44 @@
+"""Shared benchmark plumbing.
+
+Each benchmark regenerates one paper table/figure at a bench-friendly scale
+(documented in EXPERIMENTS.md; the CLI reproduces the full-scale versions),
+prints the reproduced artefact, asserts the paper's qualitative shape, and
+writes the rendered markdown into ``results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_report(results_dir):
+    """Persist a rendered table/chart under results/<name>.md."""
+
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.md").write_text(text + "\n")
+        print(text)
+
+    return _save
+
+
+@pytest.fixture
+def save_chart(results_dir):
+    """Persist an AsciiChart additionally as results/<name>.svg."""
+
+    def _save(name: str, chart) -> None:
+        from repro.report.svg_chart import svg_from_ascii_chart
+        (results_dir / f"{name}.svg").write_text(
+            svg_from_ascii_chart(chart).render() + "\n")
+
+    return _save

@@ -1,0 +1,35 @@
+"""Benchmark A4: the capture effect and estimator robustness.
+
+Capture converts some collision slots into apparent singletons.  Everyone's
+throughput rises, but the paper's collision-count estimator is silently
+biased (it sees fewer collisions and runs the channel hot); the empty-count
+estimator variant stays calibrated and keeps FCAT ahead of DFSA throughout.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import (
+    AblationCaptureConfig,
+    run_ablation_capture,
+)
+
+BENCH_CONFIG = AblationCaptureConfig(n_tags=3000, runs=2)
+
+
+def test_ablation_capture(benchmark, save_report):
+    result = benchmark.pedantic(run_ablation_capture, args=(BENCH_CONFIG,),
+                                iterations=1, rounds=1)
+    save_report("ablation_capture", result.table.render())
+    empty_curve = result.curves["FCAT-2 (empty est.)"]
+    collision_curve = result.curves["FCAT-2 (collision est.)"]
+    dfsa_curve = result.curves["DFSA"]
+    benchmark.extra_info["empty_at_0.4"] = round(empty_curve[2], 1)
+    benchmark.extra_info["collision_at_0.4"] = round(collision_curve[2], 1)
+    # Capture helps everyone relative to no capture.
+    assert dfsa_curve[-1] > dfsa_curve[0]
+    assert empty_curve[-1] > empty_curve[0]
+    # The empty-count estimator dominates the biased collision-count one at
+    # moderate capture, and keeps FCAT above DFSA everywhere.
+    assert empty_curve[2] > collision_curve[2]
+    for empty, dfsa in zip(empty_curve, dfsa_curve):
+        assert empty > dfsa

@@ -1,0 +1,38 @@
+"""Benchmark A7: tag battery cost per protocol.
+
+The paper's tags are battery-powered actives; every ID broadcast drains
+them.  Closed forms (repro.analysis.energy): FCAT expects omega/P_useful
+~2.4 broadcasts per tag, DFSA e ~2.72, tree protocols ~log2(N).  So
+collision-aware reading wins the energy column as well as throughput.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.energy import (
+    expected_transmissions_dfsa,
+    expected_transmissions_fcat,
+    expected_transmissions_tree,
+)
+from repro.experiments.ablations import AblationEnergyConfig, run_ablation_energy
+
+BENCH_CONFIG = AblationEnergyConfig(n_tags=3000, runs=2)
+
+
+def test_ablation_energy(benchmark, save_report):
+    result = benchmark.pedantic(run_ablation_energy, args=(BENCH_CONFIG,),
+                                iterations=1, rounds=1)
+    save_report("ablation_energy", result.table.render())
+    rows = result.rows
+    benchmark.extra_info["fcat2_broadcasts"] = round(rows["FCAT-2"][0], 2)
+    benchmark.extra_info["dfsa_broadcasts"] = round(rows["DFSA"][0], 2)
+    # Measured broadcasts track the closed forms.
+    assert rows["FCAT-2"][0] == math.inf or \
+        abs(rows["FCAT-2"][0] - expected_transmissions_fcat(2)) < 0.3
+    assert abs(rows["DFSA"][0] - expected_transmissions_dfsa()) < 0.3
+    assert abs(rows["ABS"][0]
+               - expected_transmissions_tree(BENCH_CONFIG.n_tags)) < 2.0
+    # The ordering: FCAT gentlest, trees by far the hungriest.
+    assert rows["FCAT-2"][0] < rows["DFSA"][0] < rows["Gen2-Q"][0]
+    assert rows["ABS"][0] > 3 * rows["DFSA"][0]

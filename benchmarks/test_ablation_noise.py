@@ -1,0 +1,26 @@
+"""Benchmark A2: FCAT under unresolvable collision records.
+
+Section IV-E: the protocol degrades gracefully as records become useless;
+at total loss it underperforms DFSA because its load overshoots the ALOHA
+optimum -- the regime where the paper says to switch protocols.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import AblationNoiseConfig, run_ablation_noise
+
+BENCH_CONFIG = AblationNoiseConfig(n_tags=5000, runs=2)
+
+
+def test_ablation_noise(benchmark, save_report):
+    result = benchmark.pedantic(run_ablation_noise, args=(BENCH_CONFIG,),
+                                iterations=1, rounds=1)
+    save_report("ablation_noise", result.table.render())
+    throughputs = result.throughputs
+    benchmark.extra_info["clean"] = round(throughputs[0], 1)
+    benchmark.extra_info["all_lost"] = round(throughputs[-1], 1)
+    # Monotone degradation (allowing small run-to-run noise).
+    for before, after in zip(throughputs, throughputs[1:]):
+        assert after < before * 1.03
+    assert throughputs[0] > 1.35 * result.dfsa_throughput
+    assert throughputs[-1] < result.dfsa_throughput

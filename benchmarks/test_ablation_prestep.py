@@ -1,0 +1,33 @@
+"""Benchmark A5: the cost of SCAT's cardinality pre-step.
+
+Section V-A's first inefficiency: SCAT needs the tag count from a pre-step
+(Kodialam-Nandagopal probe frames, ref [24]).  The tighter the demanded
+accuracy, the more air time the probes burn; FCAT's embedded estimator
+removes the cost entirely and still wins through framing.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import (
+    AblationPrestepConfig,
+    run_ablation_prestep,
+)
+
+BENCH_CONFIG = AblationPrestepConfig(n_tags=5000, runs=2)
+
+
+def test_ablation_prestep(benchmark, save_report):
+    result = benchmark.pedantic(run_ablation_prestep, args=(BENCH_CONFIG,),
+                                iterations=1, rounds=1)
+    save_report("ablation_prestep", result.table.render())
+    benchmark.extra_info["scat_oracle"] = round(result.scat_oracle, 1)
+    benchmark.extra_info["fcat"] = round(result.fcat, 1)
+    # Pre-stepped SCAT never beats oracle SCAT, and the tightest accuracy
+    # costs the most.
+    for throughput in result.scat_prestep.values():
+        assert throughput <= result.scat_oracle * 1.02
+    tightest = result.scat_prestep[min(result.scat_prestep)]
+    loosest = result.scat_prestep[max(result.scat_prestep)]
+    assert tightest <= loosest * 1.02
+    # FCAT dominates every SCAT variant (the point of section V).
+    assert result.fcat > result.scat_oracle

@@ -1,0 +1,25 @@
+"""Benchmark A1: signal-level resolvability vs SNR and collision order k.
+
+The evidence behind the protocol layer's ``k <= lambda`` rule: cancellation
+with re-estimated gains succeeds reliably above ~10 dB and degrades with k
+in the transition region.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import AblationSnrConfig, run_ablation_snr
+
+BENCH_CONFIG = AblationSnrConfig(trials=25)
+
+
+def test_ablation_snr(benchmark, save_report, save_chart):
+    result = benchmark.pedantic(run_ablation_snr, args=(BENCH_CONFIG,),
+                                iterations=1, rounds=1)
+    save_report("ablation_snr", result.chart.render())
+    save_chart("ablation_snr", result.chart)
+    for k, curve in result.curves.items():
+        benchmark.extra_info[f"k{k}_at_20db"] = curve[
+            BENCH_CONFIG.snr_db_values.index(20.0)]
+        # Reliable at high SNR, hopeless at 0 dB.
+        assert curve[-1] >= 0.9
+        assert curve[0] <= 0.3

@@ -1,0 +1,32 @@
+"""Benchmark F3: regenerate Fig. 3 (estimator bias vs N).
+
+Paper: |Bias(N_hat/N)| ~ 0.0082 / 0.011 / 0.014 for omega = 1.414 / 1.817 /
+2.213, flat in N.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig3 import Fig3Config, run_fig3
+
+BENCH_CONFIG = Fig3Config(simulate=True, simulate_frames=4000)
+
+PAPER_BIAS = {2: 0.0082, 3: 0.011, 4: 0.014}
+
+
+def test_fig3_estimator_bias(benchmark, save_report, save_chart):
+    result = benchmark.pedantic(run_fig3, args=(BENCH_CONFIG,),
+                                iterations=1, rounds=1)
+    lines = [result.chart.render(), ""]
+    for lam, bias in result.empirical.items():
+        lines.append(f"empirical bias (lambda={lam}): {bias:+.4f} "
+                     f"(analytic ~ {PAPER_BIAS[lam]:+.4f})")
+    save_report("fig3", "\n".join(lines))
+    save_chart("fig3", result.chart)
+    for lam, paper_value in PAPER_BIAS.items():
+        analytic = float(np.mean(result.analytic[lam]))
+        benchmark.extra_info[f"lam{lam}_bias"] = round(analytic, 4)
+        assert analytic == pytest.approx(paper_value, abs=0.002)
+        assert result.empirical[lam] == pytest.approx(paper_value, abs=0.005)

@@ -1,0 +1,39 @@
+"""Benchmark F4: regenerate Fig. 4 (expected slot counts vs N).
+
+Paper: at p = 1.414/10^4 and f = 30, E(n1) peaks near N = 7000 and falls
+(non-invertible) while E(nc) grows monotonically (the estimator's input).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig4 import Fig4Config, run_fig4
+
+BENCH_CONFIG = Fig4Config(simulate=True, simulate_frames=3000)
+
+
+def test_fig4_slot_expectations(benchmark, save_report, save_chart):
+    result = benchmark.pedantic(run_fig4, args=(BENCH_CONFIG,),
+                                iterations=1, rounds=1)
+    lines = [result.chart.render(), "",
+             f"singleton peak at N ~ {result.singleton_peak_n:.0f}"]
+    if result.empirical is not None:
+        lines.append("Monte-Carlo check at N=%d: %s" % (
+            BENCH_CONFIG.n_max,
+            "/".join(f"{v:.2f}" for v in result.empirical)))
+    save_report("fig4", "\n".join(lines))
+    save_chart("fig4", result.chart)
+    benchmark.extra_info["singleton_peak_n"] = round(result.singleton_peak_n)
+    # Shape assertions: collision curve monotone, singleton curve unimodal.
+    collisions = result.expectations.collision
+    assert np.all(np.diff(collisions) > 0)
+    singles = result.expectations.singleton
+    peak = int(np.argmax(singles))
+    assert 0 < peak < singles.size - 1
+    assert result.singleton_peak_n == pytest.approx(
+        10000 / 1.414, rel=0.02)
+    # The Monte-Carlo overlay validates the closed forms.
+    assert result.empirical[2] == pytest.approx(float(collisions[-1]),
+                                                rel=0.05)

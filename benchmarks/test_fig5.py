@@ -1,0 +1,39 @@
+"""Benchmark F5: regenerate Fig. 5 (FCAT throughput vs omega at N = 10000).
+
+Paper: each FCAT-lambda curve is unimodal with the peak at the computed
+optimal load; FCAT-2 tops ~200 tags/s, FCAT-3 ~240, FCAT-4 ~265.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.optimal import optimal_omega
+from repro.experiments.fig5 import Fig5Config, run_fig5
+
+BENCH_CONFIG = Fig5Config(
+    lams=(2, 3, 4),
+    omega_grid=[round(w, 2) for w in np.arange(0.5, 3.01, 0.25)],
+    n_tags=10000,
+    runs=1,
+)
+
+
+def test_fig5_throughput_vs_omega(benchmark, save_report, save_chart):
+    result = benchmark.pedantic(run_fig5, args=(BENCH_CONFIG,),
+                                iterations=1, rounds=1)
+    lines = [result.chart.render(), ""]
+    for lam in BENCH_CONFIG.lams:
+        lines.append(f"FCAT-{lam}: peak at omega ~ {result.peak_omega(lam)} "
+                     f"(computed {optimal_omega(lam):.3f})")
+    save_report("fig5", "\n".join(lines))
+    save_chart("fig5", result.chart)
+    for lam in BENCH_CONFIG.lams:
+        curve = result.curves[lam]
+        peak_index = int(np.argmax(curve))
+        benchmark.extra_info[f"lam{lam}_peak_omega"] = result.peak_omega(lam)
+        # Interior, near-computed peak; endpoints clearly worse.
+        assert 0 < peak_index < len(curve) - 1
+        assert abs(result.peak_omega(lam) - optimal_omega(lam)) <= 0.55
+        assert curve[peak_index] > 1.10 * curve[0]
+        assert curve[peak_index] > 1.02 * curve[-1]

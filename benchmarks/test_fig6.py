@@ -1,0 +1,33 @@
+"""Benchmark F6: regenerate Fig. 6 (FCAT throughput vs frame size).
+
+Paper: throughput stabilizes for f >= 10 and stays flat to f = 200.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig6 import Fig6Config, run_fig6
+
+BENCH_CONFIG = Fig6Config(
+    lams=(2, 3, 4),
+    frame_sizes=[2, 5, 10, 30, 60, 120, 200],
+    n_tags=10000,
+    runs=1,
+)
+
+
+def test_fig6_throughput_vs_frame_size(benchmark, save_report, save_chart):
+    result = benchmark.pedantic(run_fig6, args=(BENCH_CONFIG,),
+                                iterations=1, rounds=1)
+    lines = [result.chart.render(), ""]
+    for lam in BENCH_CONFIG.lams:
+        spread = result.plateau_spread(lam)
+        lines.append(f"FCAT-{lam}: plateau spread for f >= 10: {spread:.1%}")
+    save_report("fig6", "\n".join(lines))
+    save_chart("fig6", result.chart)
+    for lam in BENCH_CONFIG.lams:
+        spread = result.plateau_spread(lam)
+        benchmark.extra_info[f"lam{lam}_plateau_spread"] = round(spread, 4)
+        assert spread < 0.06  # flat beyond f = 10, as in the paper
+        # Tiny frames pay for their advertisements.
+        curve = result.curves[lam]
+        assert curve[0] < max(curve)

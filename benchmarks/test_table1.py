@@ -1,0 +1,30 @@
+"""Benchmark T1: regenerate Table I (reading throughput vs N).
+
+Paper: FCAT-2 ~ 200, FCAT-3 ~ 241, FCAT-4 ~ 265 tags/s against DFSA ~ 131,
+EDFSA ~ 127, ABS ~ 124, AQS ~ 121; FCAT-2 gains 51-71% over the baselines.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import Table1Config, run_table1
+
+BENCH_CONFIG = Table1Config(n_values=[1000, 5000, 10000], runs=3)
+
+
+def test_table1_throughput(benchmark, save_report):
+    result = benchmark.pedantic(run_table1, args=(BENCH_CONFIG,),
+                                iterations=1, rounds=1)
+    save_report("table1", result.table.render())
+    gains = result.gain_over("DFSA")
+    benchmark.extra_info["fcat2_gain_over_dfsa_min"] = round(min(gains), 3)
+    benchmark.extra_info["fcat2_gain_over_dfsa_max"] = round(max(gains), 3)
+    # Paper shape: FCAT-2 beats every baseline by a wide margin at every N,
+    # and the lambda ordering holds with diminishing increments.
+    for n in BENCH_CONFIG.n_values:
+        fcat2 = result.throughput("FCAT-2", n)
+        fcat3 = result.throughput("FCAT-3", n)
+        fcat4 = result.throughput("FCAT-4", n)
+        assert fcat2 < fcat3 < fcat4
+        for baseline in ("DFSA", "EDFSA", "ABS", "AQS"):
+            assert fcat2 > 1.35 * result.throughput(baseline, n)
+    assert 0.35 < min(gains) and max(gains) < 0.85

@@ -1,0 +1,33 @@
+"""Benchmark T2: regenerate Table II (slot usage at N = 10000).
+
+Paper: FCAT-2 4189/5861/7016, DFSA 10076/10000/7208, ABS 4410/10000/14409,
+AQS 4737/10000/14735.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table2 import Table2Config, run_table2
+
+BENCH_CONFIG = Table2Config(n_tags=10000, runs=3)
+
+
+def test_table2_slot_usage(benchmark, save_report):
+    result = benchmark.pedantic(run_table2, args=(BENCH_CONFIG,),
+                                iterations=1, rounds=1)
+    save_report("table2", result.table.render())
+    n = BENCH_CONFIG.n_tags
+    fcat_empty, fcat_single, fcat_collision = result.slots("FCAT-2")
+    benchmark.extra_info["fcat2_slots"] = (round(fcat_empty), round(fcat_single),
+                                           round(fcat_collision))
+    # Paper fingerprints (tolerances cover run-to-run noise):
+    assert abs(fcat_empty - 4189) / 4189 < 0.20
+    assert abs(fcat_single - 5861) / 5861 < 0.10
+    assert abs(fcat_collision - 7016) / 7016 < 0.10
+    dfsa_empty, dfsa_single, dfsa_collision = result.slots("DFSA")
+    assert dfsa_single == n
+    assert abs(dfsa_empty - 10076) / 10076 < 0.10
+    abs_empty, abs_single, abs_collision = result.slots("ABS")
+    assert abs_single == n
+    assert abs(abs_collision - 14409) / 14409 < 0.07
+    aqs_total = sum(result.slots("AQS"))
+    assert abs(aqs_total - 29472) / 29472 < 0.07

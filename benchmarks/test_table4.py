@@ -1,0 +1,31 @@
+"""Benchmark T4: regenerate Table IV (computed vs searched optimal omega).
+
+Paper: search finds 1.42 / 1.90 / 2.12 against computed 1.41 / 1.82 / 2.21,
+with throughput at the computed value within ~1% of the searched optimum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.optimal import optimal_omega
+from repro.experiments.table4 import Table4Config, run_table4
+
+BENCH_CONFIG = Table4Config(
+    lams=(2, 3, 4),
+    omega_grid=[round(w, 2) for w in np.arange(1.0, 2.81, 0.2)],
+    n_tags=10000,
+    runs=2,
+)
+
+
+def test_table4_omega_search(benchmark, save_report):
+    result = benchmark.pedantic(run_table4, args=(BENCH_CONFIG,),
+                                iterations=1, rounds=1)
+    save_report("table4", result.table.render())
+    for lam, search in result.searches.items():
+        benchmark.extra_info[f"lam{lam}_best_omega"] = search.best_omega
+        # The searched optimum lands within one grid step of the closed form.
+        assert abs(search.best_omega - optimal_omega(lam)) <= 0.25
+        # Using the computed omega forfeits almost nothing.
+        assert search.computed_throughput > 0.97 * search.best_throughput

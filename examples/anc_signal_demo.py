@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Signal-level tour of analog network coding (paper section II-B).
+
+Three demonstrations on real MSK waveforms:
+
+1. **Alice-Bob relay exchange** (Fig. 2): two messages cross an
+   amplify-and-forward router in two slots; each side estimates the
+   amplitude and phase of its own contribution from the energy statistics,
+   subtracts it, and demodulates the peer's bits.
+2. **RFID collision resolution** (Fig. 1): a reader records the mixed
+   signal of a 2-collision slot, later hears one constituent alone, and
+   recovers the other tag's ID by subtraction -- the primitive FCAT
+   optimizes around.
+3. **Resolvability vs SNR**: where the `k <= lambda` rule comes from.
+
+Run:  python examples/anc_signal_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.air.ids import bits_to_int, generate_tag_ids, id_to_bits
+from repro.experiments.ablations import resolvability_rate
+from repro.phy import (
+    alice_bob_exchange,
+    awgn,
+    estimate_amplitudes,
+    mix_signals,
+    msk_modulate,
+    random_channel,
+    resolve_collision,
+)
+from repro.report.ascii_chart import AsciiChart
+
+
+def demo_alice_bob(rng: np.random.Generator) -> None:
+    print("=" * 64)
+    print("1. Alice-Bob exchange through an amplify-and-forward relay")
+    print("=" * 64)
+    alice_bits = rng.integers(0, 2, 64).astype(np.uint8)
+    bob_bits = rng.integers(0, 2, 64).astype(np.uint8)
+    result = alice_bob_exchange(alice_bits, bob_bits, rng, snr_db=30.0)
+    print(f"  Alice decoded Bob's 64 bits correctly: {result.alice_ok}")
+    print(f"  Bob decoded Alice's 64 bits correctly: {result.bob_ok}")
+    print("  Two slots used instead of four -- the ANC speed-up.\n")
+
+
+def demo_rfid_resolution(rng: np.random.Generator) -> None:
+    print("=" * 64)
+    print("2. RFID 2-collision resolution (the Fig. 1 primitive)")
+    print("=" * 64)
+    tag_a, tag_b = generate_tag_ids(2, rng)
+    channel_a, channel_b = random_channel(rng), random_channel(rng)
+    wave_a = channel_a.apply(msk_modulate(id_to_bits(tag_a)))
+    wave_b = channel_b.apply(msk_modulate(id_to_bits(tag_b)))
+    mixed = awgn(mix_signals([wave_a, wave_b]), snr_db=25.0, rng=rng)
+    estimate = estimate_amplitudes(mixed)
+    print(f"  collision slot recorded; energy statistics see amplitudes "
+          f"~({estimate.a:.2f}, {estimate.b:.2f})")
+    print(f"  true channel attenuations: ({channel_a.attenuation:.2f}, "
+          f"{channel_b.attenuation:.2f})")
+    recovered = resolve_collision(mixed, [wave_a])
+    assert recovered is not None
+    print("  tag A later heard alone -> subtract its signal from the mix")
+    print(f"  residual demodulates + CRC-verifies to tag B's ID: "
+          f"{bits_to_int(recovered) == tag_b}\n")
+
+
+def demo_snr_sweep(rng: np.random.Generator) -> None:
+    print("=" * 64)
+    print("3. Resolvability vs SNR (why lambda stays small)")
+    print("=" * 64)
+    snrs = [0.0, 4.0, 8.0, 12.0, 16.0, 20.0]
+    chart = AsciiChart("cancellation success rate vs SNR", width=60,
+                       height=12, x_label="SNR (dB)")
+    for k in (2, 3, 4):
+        curve = [resolvability_rate(k, snr, trials=20, samples_per_bit=4,
+                                    rng=rng) for snr in snrs]
+        chart.add_series(f"k={k}", np.asarray(snrs), np.asarray(curve))
+    print(chart.render())
+    print()
+
+
+def main() -> None:
+    rng = np.random.default_rng(547)
+    demo_alice_bob(rng)
+    demo_rfid_resolution(rng)
+    demo_snr_sweep(rng)
+
+
+if __name__ == "__main__":
+    main()

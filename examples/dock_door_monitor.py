@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Continuous monitoring at a dock door: tags stream past the reader.
+
+The paper's protocols assume a static population per reading round (section
+IV-E).  Real dock doors are the opposite: pallets roll through and each tag
+is in range only for its dwell time.  This demo runs the continuous FCAT
+monitor (same collision records, cascade and embedded estimator as the
+batch protocol) against increasingly fast traffic and reports:
+
+* the detection fraction (tags read before they left),
+* the detection latency distribution,
+* stale reads -- IDs recovered from old collision records *after* the tag
+  departed, the curious flip side of "learn new tag IDs after some time".
+
+Run:  python examples/dock_door_monitor.py [duration_s]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import TagPopulation
+from repro.dynamics import ChurnModel, FcatMonitor, MonitoringConfig
+from repro.report.tables import MarkdownTable
+
+
+def main() -> None:
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 45.0
+    initial = TagPopulation.random(300, np.random.default_rng(10))
+    monitor = FcatMonitor(MonitoringConfig(duration_s=duration))
+
+    table = MarkdownTable(
+        title=f"dock-door monitoring, {duration:.0f}s budget, "
+              "8 arrivals/s",
+        headers=["mean dwell (s)", "appeared", "read", "detection",
+                 "latency mean (s)", "latency p95 (s)", "stale reads"])
+    for dwell in (None, 60.0, 20.0, 6.0, 3.0):
+        churn = ChurnModel(arrival_rate=8.0, mean_dwell_s=dwell)
+        result = monitor.run(initial, churn, np.random.default_rng(4))
+        mean_latency, p95 = result.latency_stats()
+        table.add_row("static" if dwell is None else f"{dwell:g}",
+                      result.tags_appeared, result.tags_read,
+                      f"{result.detection_fraction:.1%}",
+                      round(mean_latency, 2), round(p95, 2),
+                      result.stale_reads)
+    table.add_note("the reader keeps up while dwell times dwarf the per-tag "
+                   "latency (~1s here) and starts missing pallets as they "
+                   "approach it -- section IV-E's caveat, quantified")
+    print(table.render())
+
+    # Show the estimator tracking the churning backlog mid-session.
+    churn = ChurnModel(arrival_rate=8.0, mean_dwell_s=20.0)
+    result = monitor.run(initial, churn, np.random.default_rng(4))
+    mid = len(result.tracking_trace) // 2
+    estimate, truth = result.tracking_trace[mid]
+    print(f"\nmid-session backlog: estimator says {estimate:.0f}, "
+          f"truth is {truth} -- the embedded estimator tracks churn too.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""From radio SNR to protocol throughput, end to end.
+
+Section IV-E of the paper says FCAT suits environments where "most
+2-collision slots are resolvable" and advises a plain contention protocol
+otherwise -- but leaves "how noisy is too noisy" open.  This demo answers it
+with the library's own physics:
+
+1. measure the MSK demodulator's bit error rate at each SNR,
+2. convert to the 96-bit CRC failure rate and the measured 2-collision
+   resolvability (gain re-estimation decoder),
+3. feed the resulting ChannelModel into FCAT-2 and DFSA,
+4. find the crossover SNR below which the paper's advice kicks in.
+
+Run:  python examples/noisy_link_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Dfsa, Fcat, TagPopulation
+from repro.analysis.link_budget import channel_model_from_snr, simulated_ber
+from repro.report.tables import MarkdownTable
+
+SNRS_DB = [2.0, 4.0, 6.0, 8.0, 12.0, 16.0]
+N_TAGS = 1500
+
+
+def main() -> None:
+    rng = np.random.default_rng(2010)
+    population = TagPopulation.random(N_TAGS, np.random.default_rng(1))
+    table = MarkdownTable(
+        title=f"link quality -> protocol choice (N = {N_TAGS})",
+        headers=["SNR (dB)", "BER", "P(ID corrupt)", "P(record unusable)",
+                 "FCAT-2 tags/s", "DFSA tags/s", "winner"])
+    crossover = None
+    for snr_db in SNRS_DB:
+        ber = simulated_ber(snr_db, rng, n_bits=8000, samples_per_bit=4)
+        channel = channel_model_from_snr(snr_db, rng, ber_bits=8000,
+                                         resolve_trials=25)
+        if channel.singleton_corrupt_prob > 0.5:
+            # Nearly every 96-bit ID fails its CRC: *no* anti-collision
+            # protocol can operate on this link; don't pretend otherwise.
+            table.add_row(snr_db, f"{ber:.4f}",
+                          f"{channel.singleton_corrupt_prob:.3f}",
+                          f"{channel.collision_unusable_prob:.3f}",
+                          "-", "-", "link unusable")
+            continue
+        fcat = Fcat(lam=2).read_all(population, np.random.default_rng(7),
+                                    channel=channel)
+        dfsa = Dfsa().read_all(population, np.random.default_rng(7),
+                               channel=channel)
+        winner = "FCAT-2" if fcat.throughput > dfsa.throughput else "DFSA"
+        if winner == "FCAT-2" and crossover is None:
+            crossover = snr_db
+        table.add_row(snr_db, f"{ber:.4f}",
+                      f"{channel.singleton_corrupt_prob:.3f}",
+                      f"{channel.collision_unusable_prob:.3f}",
+                      round(fcat.throughput, 1), round(dfsa.throughput, 1),
+                      winner)
+    table.add_note("on a pure-AWGN link, singleton decoding and record "
+                   "resolvability degrade *together*, so there is no SNR "
+                   "where DFSA beats FCAT: either both work (FCAT wins) or "
+                   "neither decodes anything.  The regime the paper's "
+                   "section IV-E fallback advice targets -- clean singletons "
+                   "but unresolvable records -- arises from channel "
+                   "*dynamics* (fading, tag motion between slots), modeled "
+                   "by collision_unusable_prob alone in the A2 ablation")
+    print(table.render())
+    if crossover is not None:
+        print(f"\nFCAT-2 operates from roughly {crossover:g} dB sample SNR "
+              "upward on this link model; below that, no protocol can.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: read a tag population with FCAT and compare against DFSA.
+
+This is the 60-second tour of the library:
+
+1. deploy a population of 96-bit tags,
+2. run the paper's FCAT-2 protocol (ANC-assisted collision resolution),
+3. run the best conventional baseline (DFSA) on the same population,
+4. compare throughput -- expect the ~50% gain of the paper's Table I.
+
+Run:  python examples/quickstart.py [n_tags]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import Dfsa, Fcat, TagPopulation
+from repro.analysis.bounds import aloha_throughput_bound
+
+
+def main() -> None:
+    n_tags = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    rng = np.random.default_rng(2010)
+
+    print(f"Deploying {n_tags} tags with random EPC-style IDs ...")
+    population = TagPopulation.random(n_tags, rng)
+
+    print("Reading with FCAT-2 (collision-aware, lambda = 2) ...")
+    fcat = Fcat(lam=2).read_all(population, np.random.default_rng(1))
+    print(" ", fcat.summary())
+    print(f"  {fcat.resolved_from_collision} IDs "
+          f"({fcat.resolved_from_collision / n_tags:.0%}) were recovered "
+          "from collision slots that every other protocol discards")
+
+    print("Reading with DFSA (dynamic framed slotted ALOHA) ...")
+    dfsa = Dfsa().read_all(population, np.random.default_rng(1))
+    print(" ", dfsa.summary())
+
+    gain = fcat.throughput / dfsa.throughput - 1
+    print(f"\nFCAT-2 throughput gain over DFSA: {gain:+.1%} "
+          "(paper Table I: +51% .. +56%)")
+    print(f"ALOHA-family ceiling 1/(eT): {aloha_throughput_bound():.1f} "
+          f"tags/s -- FCAT-2 reads {fcat.throughput:.1f} tags/s, "
+          "breaking the limit the paper sets out to break.")
+
+
+if __name__ == "__main__":
+    main()

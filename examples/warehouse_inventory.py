@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The paper's motivating scenario: periodic warehouse inventory.
+
+A warehouse holds thousands of active tags across an area larger than one
+reader position's range.  The reader visits several locations (overlapping
+coverage), merges the reads, discards duplicates, and reconciles against the
+bookkeeping manifest to catch administration errors, vendor fraud and
+employee theft (paper section I).
+
+The demo runs the same inventory round with FCAT-2 and with DFSA and shows
+the wall-clock an operator saves per round, then injects a discrepancy
+(stolen + unregistered items) and shows the reconciliation catching it.
+
+Run:  python examples/warehouse_inventory.py [n_tags] [n_locations]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import Dfsa, Fcat, TagPopulation
+from repro.inventory import Warehouse, reconcile, run_inventory_round
+
+
+def main() -> None:
+    n_tags = int(sys.argv[1]) if len(sys.argv) > 1 else 6000
+    n_locations = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    rng = np.random.default_rng(42)
+
+    print(f"Stocking the warehouse: {n_tags} tagged items, read from "
+          f"{n_locations} locations with overlapping coverage ...")
+    population = TagPopulation.random(n_tags, rng)
+    manifest = frozenset(population.ids)
+    warehouse = Warehouse.random_layout(population, n_locations, rng,
+                                        overlap=0.2)
+    print(f"  {warehouse.uncovered_overlap_fraction:.0%} of tags are heard "
+          "from more than one location")
+
+    for protocol in (Fcat(lam=2), Dfsa()):
+        round_result = run_inventory_round(warehouse, protocol,
+                                           np.random.default_rng(7))
+        print(f"\n[{protocol.name}] {round_result.summary()}")
+        report = reconcile(manifest, round_result)
+        print(f"[{protocol.name}] {report.summary()}")
+
+    print("\nNow simulating shrinkage: 25 items walk out the door and 10 "
+          "unregistered items appear ...")
+    missing = set(list(manifest)[:25])
+    extra = TagPopulation.random(10, np.random.default_rng(99))
+    tampered_ids = (manifest - missing) | set(extra.ids)
+    tampered_population = TagPopulation(sorted(tampered_ids), validate=False)
+    tampered = Warehouse.random_layout(tampered_population, n_locations,
+                                       np.random.default_rng(1), overlap=0.2)
+    round_result = run_inventory_round(tampered, Fcat(lam=2),
+                                       np.random.default_rng(7))
+    report = reconcile(manifest, round_result)
+    print(f"[FCAT-2] {report.summary()}")
+    assert len(report.missing) == 25 and len(report.unexpected) == 10
+    print("Reconciliation caught every discrepancy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""repro -- reproduction of "Using Analog Network Coding to Improve the RFID
+Reading Throughput" (Zhang, Li, Chen & Li, ICDCS 2010).
+
+The package implements the paper's collision-aware tag identification
+protocols (SCAT and FCAT) on top of a complete simulated RFID substrate --
+MSK waveforms and the ANC decoder, CRC-protected 96-bit IDs, the I-Code slot
+timing model, a slot-level simulation engine -- plus every baseline the paper
+evaluates against (DFSA, EDFSA, ABS, AQS and friends) and runners for each of
+its tables and figures.
+
+Quickstart::
+
+    import numpy as np
+    from repro import Fcat, Dfsa, TagPopulation
+
+    rng = np.random.default_rng(7)
+    population = TagPopulation.random(2000, rng)
+    fcat = Fcat(lam=2).read_all(population, np.random.default_rng(1))
+    dfsa = Dfsa().read_all(population, np.random.default_rng(1))
+    print(fcat.summary())
+    print(dfsa.summary())
+    print(f"gain: {fcat.throughput / dfsa.throughput - 1:.0%}")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for paper-vs-
+measured numbers.
+"""
+
+from repro.air import ICODE_TIMING, TimingModel, generate_tag_ids
+from repro.baselines import (
+    AdaptiveBinarySplitting,
+    AdaptiveQuerySplitting,
+    BinaryTree,
+    Crdsa,
+    Dfsa,
+    Edfsa,
+    FramedSlottedAloha,
+    Gen2Q,
+    QueryTree,
+    SlottedAloha,
+)
+from repro.core import (
+    EmbeddedEstimator,
+    Fcat,
+    FcatConfig,
+    RecordStore,
+    Scat,
+    ScatConfig,
+    optimal_omega,
+    optimal_report_probability,
+    useful_slot_probability,
+)
+from repro.sim import (
+    ActiveSet,
+    AggregateResult,
+    ChannelModel,
+    PERFECT_CHANNEL,
+    ReadingResult,
+    TagPopulation,
+    TagReadingProtocol,
+    aggregate,
+    run_many,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ICODE_TIMING",
+    "TimingModel",
+    "generate_tag_ids",
+    "AdaptiveBinarySplitting",
+    "AdaptiveQuerySplitting",
+    "BinaryTree",
+    "Crdsa",
+    "Dfsa",
+    "Edfsa",
+    "FramedSlottedAloha",
+    "Gen2Q",
+    "QueryTree",
+    "SlottedAloha",
+    "EmbeddedEstimator",
+    "Fcat",
+    "FcatConfig",
+    "RecordStore",
+    "Scat",
+    "ScatConfig",
+    "optimal_omega",
+    "optimal_report_probability",
+    "useful_slot_probability",
+    "ActiveSet",
+    "AggregateResult",
+    "ChannelModel",
+    "PERFECT_CHANNEL",
+    "ReadingResult",
+    "TagPopulation",
+    "TagReadingProtocol",
+    "aggregate",
+    "run_many",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""Air-interface substrate: CRC codes, tag IDs, the slot hash and slot timing.
+
+These are the pieces of the RFID air interface that the paper's protocols
+(`repro.core`) and the baselines (`repro.baselines`) are built on:
+
+* :mod:`repro.air.crc` -- CRC-16/CCITT used to validate IDs (paper section III-A).
+* :mod:`repro.air.ids` -- EPC-like 96-bit tag IDs (80 payload bits + 16 CRC bits).
+* :mod:`repro.air.hashing` -- the report-decision hash ``H(ID|i)`` (section IV-A).
+* :mod:`repro.air.timing` -- the Philips I-Code slot timing model (section VI).
+"""
+
+from repro.air.crc import crc16, crc16_bits, append_crc_bits, verify_crc_bits
+from repro.air.hashing import slot_hash, report_threshold, tag_transmits
+from repro.air.ids import (
+    ID_BITS,
+    PAYLOAD_BITS,
+    bits_to_int,
+    generate_tag_ids,
+    id_to_bits,
+    int_to_bits,
+    make_tag_id,
+    verify_tag_id,
+)
+from repro.air.timing import ICODE_TIMING, TimingModel
+
+__all__ = [
+    "crc16",
+    "crc16_bits",
+    "append_crc_bits",
+    "verify_crc_bits",
+    "slot_hash",
+    "report_threshold",
+    "tag_transmits",
+    "ID_BITS",
+    "PAYLOAD_BITS",
+    "bits_to_int",
+    "generate_tag_ids",
+    "id_to_bits",
+    "int_to_bits",
+    "make_tag_id",
+    "verify_tag_id",
+    "ICODE_TIMING",
+    "TimingModel",
+]

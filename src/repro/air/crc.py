@@ -1,0 +1,100 @@
+"""CRC-16/CCITT-FALSE over byte strings and bit arrays.
+
+Every tag ID in the paper carries a 16-bit CRC so the reader can (a) tell a
+singleton slot from a collision slot and (b) validate the residual signal after
+subtracting known signals from a recorded collision (paper sections III-A/B).
+
+The polynomial is the CCITT one (x^16 + x^12 + x^5 + 1, ``0x1021``) with initial
+value ``0xFFFF``, the variant used by ISO 18000-6 readers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+CRC_POLY = 0x1021
+CRC_INIT = 0xFFFF
+CRC_BITS = 16
+
+
+def _build_table() -> list[int]:
+    table = []
+    for byte in range(256):
+        reg = byte << 8
+        for _ in range(8):
+            if reg & 0x8000:
+                reg = ((reg << 1) ^ CRC_POLY) & 0xFFFF
+            else:
+                reg = (reg << 1) & 0xFFFF
+        table.append(reg)
+    return table
+
+
+_CRC_TABLE = _build_table()
+
+
+def crc16(data: bytes | bytearray, init: int = CRC_INIT) -> int:
+    """Return the CRC-16/CCITT-FALSE of ``data`` as an integer in ``[0, 2^16)``."""
+    reg = init
+    for byte in data:
+        reg = ((reg << 8) ^ _CRC_TABLE[((reg >> 8) ^ byte) & 0xFF]) & 0xFFFF
+    return reg
+
+
+def crc16_bytes_many(data: np.ndarray, init: int = CRC_INIT) -> np.ndarray:
+    """Vectorized :func:`crc16` over many equal-length byte strings.
+
+    ``data`` is an ``(n, width)`` uint8 array; returns ``n`` CRC values as
+    uint16.  Used to mint large tag populations quickly (a 20 000-tag
+    population is CRC-stamped in a few numpy passes instead of 2M Python
+    loop iterations).
+    """
+    data = np.asarray(data, dtype=np.uint8)
+    if data.ndim != 2:
+        raise ValueError("data must be a 2-D (n, width) byte array")
+    table = np.asarray(_CRC_TABLE, dtype=np.uint16)
+    registers = np.full(data.shape[0], init, dtype=np.uint16)
+    for column in range(data.shape[1]):
+        index = ((registers >> 8) ^ data[:, column]).astype(np.uint16) & 0xFF
+        registers = ((registers << 8) ^ table[index]).astype(np.uint16)
+    return registers
+
+
+def crc16_bits(bits: Sequence[int] | np.ndarray, init: int = CRC_INIT) -> int:
+    """Return the CRC-16 of a bit sequence (MSB-first), bit by bit.
+
+    Unlike :func:`crc16` this accepts bit strings whose length is not a multiple
+    of eight, which is what the modem layer works with.
+    """
+    reg = init
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"bits must be 0 or 1, got {bit!r}")
+        high = (reg >> 15) & 1
+        reg = (reg << 1) & 0xFFFF
+        if high ^ int(bit):
+            reg ^= CRC_POLY
+    return reg
+
+
+def append_crc_bits(payload_bits: Iterable[int]) -> np.ndarray:
+    """Return ``payload_bits`` with its 16 CRC bits appended (MSB-first)."""
+    payload = np.asarray(list(payload_bits), dtype=np.uint8)
+    crc = crc16_bits(payload)
+    crc_bits = np.array([(crc >> (CRC_BITS - 1 - i)) & 1 for i in range(CRC_BITS)],
+                        dtype=np.uint8)
+    return np.concatenate([payload, crc_bits])
+
+
+def verify_crc_bits(frame_bits: Sequence[int] | np.ndarray) -> bool:
+    """Check a frame produced by :func:`append_crc_bits`.
+
+    Running the CRC register over payload *and* appended CRC yields zero for an
+    intact frame, the classic systematic-code check.
+    """
+    frame = np.asarray(frame_bits, dtype=np.uint8)
+    if frame.size <= CRC_BITS:
+        return False
+    return crc16_bits(frame) == 0

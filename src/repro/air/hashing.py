@@ -1,0 +1,54 @@
+"""The report-decision hash ``H(ID | i)`` of paper section IV-A.
+
+In SCAT/FCAT the reader advertises a report probability ``p_i`` as the ``l``-bit
+integer ``floor(p_i * 2^l)``.  A tag transmits in slot ``i`` iff
+``H(ID|i) <= floor(p_i * 2^l)`` where ``H`` maps the (ID, slot) pair uniformly
+into ``[0, 2^l)``.  Because the decision is a deterministic function of the ID
+and the slot index, the reader can later test -- for an ID it has just learned --
+whether that tag participated in any recorded collision slot.  That test is what
+drives the collision-resolution cascade.
+
+The hash is a SplitMix64-style integer mix: stable across processes (unlike
+Python's ``hash``), uniform, and cheap.
+"""
+
+from __future__ import annotations
+
+#: Width of the advertised probability integer (section IV-A uses an l-bit int).
+DEFAULT_HASH_BITS = 32
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    """One round of the SplitMix64 finalizer; full 64-bit avalanche."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def slot_hash(tag_id: int, slot_index: int, bits: int = DEFAULT_HASH_BITS) -> int:
+    """Return ``H(tag_id | slot_index)`` in ``[0, 2^bits)``."""
+    if not 1 <= bits <= 64:
+        raise ValueError("bits must be in [1, 64]")
+    mixed = _splitmix64((tag_id & _MASK64) ^ _splitmix64(tag_id >> 64))
+    mixed = _splitmix64(mixed ^ _splitmix64(slot_index & _MASK64))
+    return mixed >> (64 - bits)
+
+
+def report_threshold(probability: float, bits: int = DEFAULT_HASH_BITS) -> int:
+    """Quantize a report probability to the advertised ``l``-bit threshold.
+
+    A tag transmits iff ``slot_hash(...) < threshold``, so ``threshold = 0``
+    means never and ``threshold = 2^bits`` means always.
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {probability}")
+    return round(probability * (1 << bits))
+
+
+def tag_transmits(tag_id: int, slot_index: int, threshold: int,
+                  bits: int = DEFAULT_HASH_BITS) -> bool:
+    """The tag-side report decision for one slot."""
+    return slot_hash(tag_id, slot_index, bits) < threshold

@@ -1,0 +1,73 @@
+"""Closed-form analysis from the paper: slot distributions (Eq. 6-11, Fig. 4),
+estimator bias/variance (Eq. 15-16, 24-25, Fig. 3), and the classic
+throughput bounds of section VII."""
+
+from repro.analysis.bounds import (
+    aloha_throughput_bound,
+    fcat_throughput_bound,
+    tree_throughput_bound,
+)
+from repro.analysis.estimator_stats import (
+    estimator_bias,
+    estimator_relative_bias,
+    estimator_relative_variance,
+    estimator_variance,
+    collision_count_variance,
+)
+from repro.analysis.energy import (
+    energy_per_tag_joules,
+    expected_transmissions_dfsa,
+    expected_transmissions_fcat,
+    expected_transmissions_tree,
+    transmissions_per_tag,
+)
+from repro.analysis.link_budget import (
+    channel_model_from_snr,
+    ebn0_from_sample_snr,
+    frame_error_rate,
+    msk_coherent_ber,
+    simulated_ber,
+)
+from repro.analysis.session_model import (
+    SessionPrediction,
+    predict_session,
+    predicted_gain_over_aloha,
+    predicted_resolved_fraction,
+    slot_mix,
+)
+from repro.analysis.slot_distribution import (
+    expected_collision_slots,
+    expected_empty_slots,
+    expected_singleton_slots,
+    slot_expectations,
+)
+
+__all__ = [
+    "aloha_throughput_bound",
+    "fcat_throughput_bound",
+    "tree_throughput_bound",
+    "estimator_bias",
+    "estimator_relative_bias",
+    "estimator_relative_variance",
+    "estimator_variance",
+    "collision_count_variance",
+    "expected_collision_slots",
+    "expected_empty_slots",
+    "expected_singleton_slots",
+    "slot_expectations",
+    "SessionPrediction",
+    "predict_session",
+    "predicted_gain_over_aloha",
+    "predicted_resolved_fraction",
+    "slot_mix",
+    "energy_per_tag_joules",
+    "expected_transmissions_dfsa",
+    "expected_transmissions_fcat",
+    "expected_transmissions_tree",
+    "transmissions_per_tag",
+    "channel_model_from_snr",
+    "ebn0_from_sample_snr",
+    "frame_error_rate",
+    "msk_coherent_ber",
+    "simulated_ber",
+]

@@ -1,0 +1,128 @@
+"""A mean-field model of a whole FCAT session.
+
+The paper derives the per-slot optimum (section IV-C) but reports session
+totals (Tables II/III) only from simulation.  A mean-field argument fills
+the gap: when the report probability tracks ``p = omega / N_i``, the slot
+mix stays at the Poisson(omega) fractions
+
+    P_empty = e^{-omega},  P_single = omega e^{-omega},
+    P_k = omega^k / k! e^{-omega},
+
+and every singleton or (resolvable) k-collision slot with ``k <= lambda``
+eventually yields exactly one ID.  Hence:
+
+* IDs per slot  = P_single + r * sum_{k=2..lambda} P_k,  with ``r`` the
+  fraction of within-lambda records that ultimately resolve (r = 1 on a
+  clean channel: every constituent is eventually learned, so every usable
+  record reaches the one-unknown state);
+* total slots   ~ N / (IDs per slot);
+* resolved fraction = r * sum_{k=2..lambda} P_k / (IDs per slot)  -- the
+  Table III column, e.g. 0.243 / 0.587 = 41.4% for lambda = 2;
+* expected empty / singleton / collision counts = slot fractions x total
+  (the Table II rows).
+
+These closed forms are validated against the simulator in
+``tests/analysis/test_session_model.py`` and against the paper's Table II
+numbers in the benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.air.timing import ICODE_TIMING, TimingModel
+from repro.core.optimal import optimal_omega
+
+
+@dataclass(frozen=True)
+class SessionPrediction:
+    """Mean-field predictions for one FCAT session."""
+
+    n_tags: int
+    lam: int
+    omega: float
+    total_slots: float
+    empty_slots: float
+    singleton_slots: float
+    collision_slots: float
+    resolved_ids: float
+    throughput: float
+
+    @property
+    def resolved_fraction(self) -> float:
+        return self.resolved_ids / self.n_tags if self.n_tags else 0.0
+
+
+def slot_mix(omega: float, lam: int) -> tuple[float, float, float, float]:
+    """(P_empty, P_single, P_useful_collision, P_wasted_collision)."""
+    if omega <= 0:
+        raise ValueError("omega must be positive")
+    if lam < 2:
+        raise ValueError("lam must be >= 2")
+    p_empty = math.exp(-omega)
+    p_single = omega * math.exp(-omega)
+    p_useful = sum(omega ** k / math.factorial(k) for k in range(2, lam + 1)
+                   ) * math.exp(-omega)
+    p_wasted = 1.0 - p_empty - p_single - p_useful
+    return p_empty, p_single, p_useful, max(p_wasted, 0.0)
+
+
+def predict_session(n_tags: int, lam: int = 2, omega: float | None = None,
+                    resolvable_fraction: float = 1.0,
+                    frame_size: int = 30,
+                    timing: TimingModel = ICODE_TIMING) -> SessionPrediction:
+    """Mean-field session totals (Table II/III rows) and throughput.
+
+    ``resolvable_fraction`` is the channel's ``1 - collision_unusable_prob``;
+    throughput accounts for FCAT's advertisements and 23-bit announcements
+    exactly as the simulator's timing model does.
+    """
+    if n_tags < 0:
+        raise ValueError("n_tags must be non-negative")
+    if not 0.0 <= resolvable_fraction <= 1.0:
+        raise ValueError("resolvable_fraction must be in [0, 1]")
+    if frame_size < 1:
+        raise ValueError("frame_size must be >= 1")
+    load = omega if omega is not None else optimal_omega(lam)
+    p_empty, p_single, p_useful, p_wasted = slot_mix(load, lam)
+    ids_per_slot = p_single + resolvable_fraction * p_useful
+    if ids_per_slot <= 0:
+        raise ValueError("the configured session can never read a tag")
+    total = n_tags / ids_per_slot
+    resolved = resolvable_fraction * p_useful * total
+    frames = total / frame_size
+    duration = timing.session_seconds(
+        slots=int(round(total)),
+        advertisements=int(round(frames)),
+        index_announcements=int(round(resolved)),
+    )
+    throughput = n_tags / duration if duration > 0 else 0.0
+    return SessionPrediction(
+        n_tags=n_tags, lam=lam, omega=load,
+        total_slots=total,
+        empty_slots=p_empty * total,
+        singleton_slots=p_single * total,
+        collision_slots=(p_useful + p_wasted) * total,
+        resolved_ids=resolved,
+        throughput=throughput,
+    )
+
+
+def predicted_resolved_fraction(lam: int, omega: float | None = None,
+                                resolvable_fraction: float = 1.0) -> float:
+    """The Table III fraction: resolved IDs / all IDs (41% / 59% / 69%)."""
+    load = omega if omega is not None else optimal_omega(lam)
+    _, p_single, p_useful, _ = slot_mix(load, lam)
+    useful = p_single + resolvable_fraction * p_useful
+    if useful <= 0:
+        return 0.0
+    return resolvable_fraction * p_useful / useful
+
+
+def predicted_gain_over_aloha(lam: int, resolvable_fraction: float = 1.0
+                              ) -> float:
+    """Ideal throughput gain over the 1/e ALOHA optimum (slot-count basis)."""
+    load = optimal_omega(lam)
+    _, p_single, p_useful, _ = slot_mix(load, lam)
+    return (p_single + resolvable_fraction * p_useful) * math.e - 1.0

@@ -1,0 +1,83 @@
+"""Expected per-frame slot-type counts (paper Eq. 6-11, Fig. 4).
+
+With ``N`` participating tags each transmitting with probability ``p`` in
+every slot of a frame of size ``f``:
+
+    E(n0) = f * (1-p)^N                          (empty slots,     Eq. 7)
+    E(n1) = f * N p (1-p)^(N-1)                  (singleton slots, Eq. 9)
+    E(nc) = f - E(n0) - E(n1)                    (collision slots, Eq. 10)
+
+Fig. 4's point is that E(n1) is *not* monotonic in N (it peaks at N = 1/p
+and falls), so the singleton count cannot serve as an estimator of N, while
+E(nc) is strictly increasing and inverts cleanly -- which is why FCAT's
+embedded estimator reads the collision count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def expected_empty_slots(n: float | np.ndarray, p: float,
+                         frame_size: int) -> float | np.ndarray:
+    """E(n0) = f (1-p)^N (Eq. 7)."""
+    _validate(p, frame_size)
+    return frame_size * (1.0 - p) ** np.asarray(n, dtype=np.float64)
+
+
+def expected_singleton_slots(n: float | np.ndarray, p: float,
+                             frame_size: int) -> float | np.ndarray:
+    """E(n1) = f N p (1-p)^(N-1) (Eq. 9)."""
+    _validate(p, frame_size)
+    n = np.asarray(n, dtype=np.float64)
+    return frame_size * n * p * (1.0 - p) ** (n - 1.0)
+
+
+def expected_collision_slots(n: float | np.ndarray, p: float,
+                             frame_size: int) -> float | np.ndarray:
+    """E(nc) = f - E(n0) - E(n1) (Eq. 10)."""
+    return (frame_size
+            - expected_empty_slots(n, p, frame_size)
+            - expected_singleton_slots(n, p, frame_size))
+
+
+@dataclass(frozen=True)
+class SlotExpectations:
+    """The three expectations evaluated over a grid of population sizes."""
+
+    n: np.ndarray
+    empty: np.ndarray
+    singleton: np.ndarray
+    collision: np.ndarray
+
+
+def slot_expectations(n_values: np.ndarray, p: float,
+                      frame_size: int) -> SlotExpectations:
+    """Evaluate E(n0), E(n1), E(nc) over ``n_values`` (the Fig. 4 curves)."""
+    n = np.asarray(n_values, dtype=np.float64)
+    return SlotExpectations(
+        n=n,
+        empty=np.asarray(expected_empty_slots(n, p, frame_size)),
+        singleton=np.asarray(expected_singleton_slots(n, p, frame_size)),
+        collision=np.asarray(expected_collision_slots(n, p, frame_size)),
+    )
+
+
+def singleton_peak(p: float) -> float:
+    """The population size at which E(n1) peaks: N* = -1/ln(1-p) ~ 1/p.
+
+    Populations on either side of the peak produce the same singleton count,
+    the non-invertibility Fig. 4 illustrates.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be in (0, 1)")
+    return -1.0 / np.log1p(-p)
+
+
+def _validate(p: float, frame_size: int) -> None:
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    if frame_size < 1:
+        raise ValueError("frame_size must be >= 1")

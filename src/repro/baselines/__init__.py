@@ -1,0 +1,52 @@
+"""Baseline anti-collision protocols the paper compares against (section VI).
+
+ALOHA family:
+
+* :mod:`repro.baselines.aloha` -- p-persistent slotted ALOHA (the 1/e bound).
+* :mod:`repro.baselines.fsa` -- basic framed slotted ALOHA (fixed frame).
+* :mod:`repro.baselines.dfsa` -- Dynamic Framed Slotted ALOHA [6].
+* :mod:`repro.baselines.edfsa` -- Enhanced DFSA [5] (capped frames + grouping).
+
+Tree family:
+
+* :mod:`repro.baselines.splitting` -- shared recursive-splitting engine.
+* :mod:`repro.baselines.abs_protocol` -- Adaptive Binary Splitting [12].
+* :mod:`repro.baselines.aqs` -- Adaptive Query Splitting [12].
+* :mod:`repro.baselines.binary_tree` / :mod:`repro.baselines.query_tree` --
+  the classic non-adaptive variants (section VII).
+
+Extension:
+
+* :mod:`repro.baselines.crdsa` -- Contention Resolution Diversity Slotted
+  ALOHA [22], the satellite-access protocol with successive interference
+  cancellation the paper cites in section III-C.
+"""
+
+from repro.baselines.abs_protocol import AdaptiveBinarySplitting
+from repro.baselines.aloha import SlottedAloha
+from repro.baselines.aqs import AdaptiveQuerySplitting
+from repro.baselines.binary_tree import BinaryTree
+from repro.baselines.crdsa import Crdsa
+from repro.baselines.dfsa import Dfsa
+from repro.baselines.edfsa import Edfsa
+from repro.baselines.fsa import FramedSlottedAloha
+from repro.baselines.gen2_q import Gen2Q
+from repro.baselines.query_tree import QueryTree
+
+__all__ = [
+    "AdaptiveBinarySplitting",
+    "SlottedAloha",
+    "AdaptiveQuerySplitting",
+    "BinaryTree",
+    "Crdsa",
+    "Dfsa",
+    "Edfsa",
+    "FramedSlottedAloha",
+    "Gen2Q",
+    "QueryTree",
+]
+
+
+def standard_baselines() -> list:
+    """The four baselines of the paper's Table I, paper parameters."""
+    return [Dfsa(), Edfsa(), AdaptiveBinarySplitting(), AdaptiveQuerySplitting()]

@@ -1,0 +1,81 @@
+"""p-persistent slotted ALOHA (section II-A's contention-based strawman).
+
+Every active tag transmits in every slot with probability ``p = 1/N_i``; the
+singleton probability peaks at ``1/e ~ 36.8%``, the classic bound the paper
+sets out to break.  The reader is given the tag count (the same oracle SCAT
+gets); this protocol exists to demonstrate the ``1/(eT)`` ceiling
+empirically, which benchmark A-bounds checks against
+:func:`repro.analysis.bounds.aloha_throughput_bound`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.air.timing import ICODE_TIMING, TimingModel
+from repro.sim.active_set import ActiveSet
+from repro.sim.base import TagReadingProtocol
+from repro.sim.channel import PERFECT_CHANNEL, ChannelModel
+from repro.sim.population import TagPopulation
+from repro.sim.result import ReadingResult
+
+
+class SlottedAloha(TagReadingProtocol):
+    """Oracle-assisted p-persistent slotted ALOHA."""
+
+    name = "SlottedALOHA"
+
+    def __init__(self, max_report_probability: float = 0.5,
+                 empty_streak_for_probe: int = 5,
+                 max_slots_factor: float = 500.0) -> None:
+        if not 0.0 < max_report_probability <= 1.0:
+            raise ValueError("max_report_probability must be in (0, 1]")
+        self.max_report_probability = max_report_probability
+        self.empty_streak_for_probe = empty_streak_for_probe
+        self.max_slots_factor = max_slots_factor
+
+    def read_all(self, population: TagPopulation, rng: np.random.Generator,
+                 channel: ChannelModel = PERFECT_CHANNEL,
+                 timing: TimingModel = ICODE_TIMING) -> ReadingResult:
+        result = ReadingResult(protocol=self.name, n_tags=len(population),
+                               n_read=0, timing=timing)
+        active = ActiveSet(population.ids)
+        read: set[int] = set()
+        total = len(population)
+        max_slots = int(self.max_slots_factor * max(total, 1) + 1000)
+        empty_streak = 0
+        slots = 0
+        while True:
+            if slots >= max_slots:
+                raise RuntimeError("slotted ALOHA termination is stuck")
+            slots += 1
+            probing = empty_streak >= self.empty_streak_for_probe
+            if probing:
+                p = 1.0
+                empty_streak = 0
+                transmitters = list(active)
+            else:
+                remaining = max(total - len(read), 1)
+                p = min(1.0 / remaining, self.max_report_probability)
+                transmitters = active.sample_binomial(p, rng)
+            result.advertisements += 1
+            k = len(transmitters)
+            result.tag_transmissions += k
+            if k == 0:
+                result.empty_slots += 1
+                if probing:
+                    break
+                empty_streak += 1
+            elif k == 1 and channel.singleton_ok(rng):
+                result.singleton_slots += 1
+                tag = transmitters[0]
+                if tag not in read:
+                    read.add(tag)
+                    result.n_read += 1
+                if channel.ack_received(rng):
+                    active.discard(tag)
+                empty_streak = 0
+            else:
+                result.collision_slots += 1
+                empty_streak = 0
+        return result

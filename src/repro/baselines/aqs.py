@@ -1,0 +1,61 @@
+"""Adaptive Query Splitting (Myung & Lee, MobiHoc 2006) -- paper ref [12].
+
+A query-tree protocol whose query queue persists across reading rounds: the
+first round starts from the prefixes '0' and '1' and each subsequent round
+re-seeds the queue with the leaf queries (singleton and empty prefixes) of
+the previous round, skipping the collision prefix work.  Within a single
+round -- which is what the paper's Table I/II measures -- AQS behaves as a
+query tree seeded with the two one-bit prefixes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.air.timing import ICODE_TIMING, TimingModel
+from repro.baselines.query_tree import QueryTree, population_bit_matrix
+from repro.baselines.splitting import id_bit_splitter, run_splitting_tree
+from repro.sim.channel import PERFECT_CHANNEL, ChannelModel
+from repro.sim.population import TagPopulation
+from repro.sim.result import ReadingResult
+
+
+class AdaptiveQuerySplitting(QueryTree):
+    """AQS: a query tree whose queue starts at prefixes '0' and '1'."""
+
+    name = "AQS"
+    _start_depth_one = True
+
+    def reread(self, population: TagPopulation, rng: np.random.Generator,
+               previous_leaf_depths: dict[int, int],
+               channel: ChannelModel = PERFECT_CHANNEL,
+               timing: TimingModel = ICODE_TIMING) -> ReadingResult:
+        """Re-read an (almost) unchanged population from remembered leaves.
+
+        ``previous_leaf_depths`` maps each tag ID to the prefix length that
+        isolated it last round.  Unchanged tags answer their remembered leaf
+        query alone; tags that joined since (absent from the map) fall back to
+        splitting from the root of their leaf's subtree.  Returns a fresh
+        :class:`ReadingResult`; empty leaf queries from departed tags are
+        charged as empty slots, as in the original protocol.
+        """
+        result = ReadingResult(protocol=f"{self.name}-reread",
+                               n_tags=len(population), n_read=0, timing=timing)
+        bits = population_bit_matrix(population)
+        splitter = id_bit_splitter(bits)
+        known = [i for i, tag in enumerate(population.ids)
+                 if tag in previous_leaf_depths]
+        unknown = np.array([i for i, tag in enumerate(population.ids)
+                            if tag not in previous_leaf_depths], dtype=int)
+        groups: list[tuple[np.ndarray, int]] = [
+            (np.array([i], dtype=int), previous_leaf_depths[population.ids[i]])
+            for i in known
+        ]
+        # Departed tags leave their old leaf queries empty.
+        departed = len(previous_leaf_depths) - len(known)
+        result.empty_slots += max(departed, 0)
+        if unknown.size:
+            groups.append((unknown, 0))
+        run_splitting_tree(result, population, splitter, rng, channel,
+                           initial_groups=groups)
+        return result

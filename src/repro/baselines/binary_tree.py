@@ -1,0 +1,33 @@
+"""The classic (non-adaptive) binary-tree protocol (Capetanakis) -- section VII.
+
+Identical single-round mechanics to ABS (random-bit splitting); kept as a
+separate protocol because it lacks ABS's cross-round staleness shortcut and
+because the related-work benchmarks reference it by name.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.air.timing import ICODE_TIMING, TimingModel
+from repro.baselines.splitting import random_bit_splitter, run_splitting_tree
+from repro.sim.base import TagReadingProtocol
+from repro.sim.channel import PERFECT_CHANNEL, ChannelModel
+from repro.sim.population import TagPopulation
+from repro.sim.result import ReadingResult
+
+
+class BinaryTree(TagReadingProtocol):
+    """Random binary splitting, DFS over the collision tree."""
+
+    name = "BinaryTree"
+
+    def read_all(self, population: TagPopulation, rng: np.random.Generator,
+                 channel: ChannelModel = PERFECT_CHANNEL,
+                 timing: TimingModel = ICODE_TIMING) -> ReadingResult:
+        result = ReadingResult(protocol=self.name, n_tags=len(population),
+                               n_read=0, timing=timing)
+        run_splitting_tree(result, population, random_bit_splitter(rng), rng,
+                           channel,
+                           initial_groups=[(np.arange(len(population)), 0)])
+        return result

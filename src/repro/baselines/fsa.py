@@ -1,0 +1,66 @@
+"""Basic Framed Slotted ALOHA -- fixed frame size every round (section VII).
+
+The simplest industrial scheme (ISO 18000-6 type A lineage): the reader
+repeats frames of a fixed size; every unread tag picks one slot per frame.
+Kept as a context baseline -- it shows why DFSA's dynamic sizing matters when
+the population is far from the configured frame size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.air.timing import ICODE_TIMING, TimingModel
+from repro.sim.base import TagReadingProtocol
+from repro.sim.channel import PERFECT_CHANNEL, ChannelModel
+from repro.sim.population import TagPopulation
+from repro.sim.result import ReadingResult
+
+
+class FramedSlottedAloha(TagReadingProtocol):
+    """BFSA with a fixed frame size (default 256 slots)."""
+
+    def __init__(self, frame_size: int = 256, max_frames: int = 500_000) -> None:
+        if frame_size < 1:
+            raise ValueError("frame_size must be >= 1")
+        self.frame_size = frame_size
+        self.max_frames = max_frames
+        self.name = f"BFSA-{frame_size}"
+
+    def read_all(self, population: TagPopulation, rng: np.random.Generator,
+                 channel: ChannelModel = PERFECT_CHANNEL,
+                 timing: TimingModel = ICODE_TIMING) -> ReadingResult:
+        result = ReadingResult(protocol=self.name, n_tags=len(population),
+                               n_read=0, timing=timing)
+        ids = population.ids
+        active = np.arange(len(population))
+        read: set[int] = set()
+        for _ in range(self.max_frames):
+            result.frames += 1
+            result.advertisements += 1
+            choices = rng.integers(0, self.frame_size, size=active.size)
+            result.tag_transmissions += int(active.size)
+            occupancy = np.bincount(choices, minlength=self.frame_size)
+            result.empty_slots += int((occupancy == 0).sum())
+            collisions = int((occupancy >= 2).sum())
+            acked: list[int] = []
+            singles = active[occupancy[choices] == 1]
+            for member in singles:
+                if channel.singleton_ok(rng):
+                    result.singleton_slots += 1
+                    tag = ids[int(member)]
+                    if tag not in read:
+                        read.add(tag)
+                        result.n_read += 1
+                    if channel.ack_received(rng):
+                        acked.append(int(member))
+                else:
+                    collisions += 1
+            result.collision_slots += collisions
+            if acked:
+                active = active[~np.isin(active, np.array(acked))]
+            if collisions == 0:
+                break
+        else:
+            raise RuntimeError("BFSA exceeded max_frames without finishing")
+        return result

@@ -1,0 +1,46 @@
+"""The paper's contribution: collision-aware tag identification.
+
+* :mod:`repro.core.optimal` -- the optimal load ``omega* = (lambda!)^(1/lambda)``
+  and report probability (section IV-C).
+* :mod:`repro.core.collision` -- collision records and the ANC resolution
+  cascade (section IV-B).
+* :mod:`repro.core.estimator` -- FCAT's embedded tag-count estimator
+  (section V-C).
+* :mod:`repro.core.scat` / :mod:`repro.core.fcat` -- the SCAT and FCAT
+  protocols (sections IV and V).
+"""
+
+from repro.core.collision import CollisionRecord, RecordStore
+from repro.core.estimator import (
+    EmbeddedEstimator,
+    invert_collision_count,
+    invert_collision_count_exact,
+)
+from repro.core.fcat import Fcat, FcatConfig
+from repro.core.optimal import (
+    optimal_omega,
+    optimal_omega_exact,
+    optimal_report_probability,
+    slot_type_probabilities,
+    useful_slot_probability,
+    useful_slot_probability_binomial,
+)
+from repro.core.scat import Scat, ScatConfig
+
+__all__ = [
+    "CollisionRecord",
+    "RecordStore",
+    "EmbeddedEstimator",
+    "invert_collision_count",
+    "invert_collision_count_exact",
+    "Fcat",
+    "FcatConfig",
+    "optimal_omega",
+    "optimal_omega_exact",
+    "optimal_report_probability",
+    "slot_type_probabilities",
+    "useful_slot_probability",
+    "useful_slot_probability_binomial",
+    "Scat",
+    "ScatConfig",
+]

@@ -1,0 +1,28 @@
+"""Dynamic tag populations: arrivals, departures, continuous monitoring.
+
+Paper section IV-E notes the protocol targets tags that are "statically
+located" during a reading round and that severe mobility defeats collision
+resolution.  This package quantifies that boundary instead of leaving it as
+a remark:
+
+* :mod:`repro.dynamics.churn` -- Poisson arrivals and exponential dwell
+  times over the slot clock.
+* :mod:`repro.dynamics.monitor` -- a continuously running FCAT reader
+  (records, cascade and embedded estimator reused from :mod:`repro.core`)
+  measured on detection fraction and latency instead of time-to-complete.
+"""
+
+from repro.dynamics.churn import ChurnModel, TagLifetimes
+from repro.dynamics.monitor import (
+    FcatMonitor,
+    MonitoringConfig,
+    MonitoringResult,
+)
+
+__all__ = [
+    "ChurnModel",
+    "TagLifetimes",
+    "FcatMonitor",
+    "MonitoringConfig",
+    "MonitoringResult",
+]

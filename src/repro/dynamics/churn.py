@@ -1,0 +1,113 @@
+"""Population churn: Poisson arrivals, exponential dwell times.
+
+Warehouse reality behind the paper's periodic-inventory story: pallets roll
+in and out while the reader runs.  ``ChurnModel`` drives per-slot arrival
+and departure draws on the slot clock; ``TagLifetimes`` records when each
+tag arrived, departed and was first read, which the monitoring metrics are
+computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.air.ids import PAYLOAD_BITS, make_tag_id
+
+
+@dataclass(frozen=True)
+class ChurnModel:
+    """Arrival/departure rates, in events per second of air time."""
+
+    #: New tags entering range per second (Poisson).
+    arrival_rate: float = 0.0
+    #: Mean time a tag stays in range (exponential dwell); None = forever.
+    mean_dwell_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate < 0:
+            raise ValueError("arrival_rate must be non-negative")
+        if self.mean_dwell_s is not None and self.mean_dwell_s <= 0:
+            raise ValueError("mean_dwell_s must be positive")
+
+    def arrivals_in(self, seconds: float, rng: np.random.Generator) -> int:
+        """Number of tags arriving during ``seconds`` of air time."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        if self.arrival_rate == 0.0:
+            return 0
+        return int(rng.poisson(self.arrival_rate * seconds))
+
+    def departure_probability(self, seconds: float) -> float:
+        """P(a present tag leaves within ``seconds``)."""
+        if self.mean_dwell_s is None:
+            return 0.0
+        return float(1.0 - np.exp(-seconds / self.mean_dwell_s))
+
+
+@dataclass
+class TagLifetimes:
+    """Arrival / first-read / departure instants per tag (seconds)."""
+
+    arrived_at: dict[int, float] = field(default_factory=dict)
+    read_at: dict[int, float] = field(default_factory=dict)
+    departed_at: dict[int, float] = field(default_factory=dict)
+
+    def arrive(self, tag: int, time_s: float) -> None:
+        self.arrived_at.setdefault(tag, time_s)
+
+    def read(self, tag: int, time_s: float) -> None:
+        self.read_at.setdefault(tag, time_s)
+
+    def depart(self, tag: int, time_s: float) -> None:
+        self.departed_at.setdefault(tag, time_s)
+
+    def detection_latencies(self) -> list[float]:
+        """Arrival-to-first-read delays for tags read while present."""
+        latencies = []
+        for tag, read_time in self.read_at.items():
+            departed = self.departed_at.get(tag)
+            if departed is not None and read_time > departed:
+                continue  # stale read: the ID surfaced after the tag left
+            latencies.append(read_time - self.arrived_at[tag])
+        return latencies
+
+    def missed_departures(self) -> int:
+        """Tags that left without ever being read while present."""
+        missed = 0
+        for tag, departed in self.departed_at.items():
+            read_time = self.read_at.get(tag)
+            if read_time is None or read_time > departed:
+                missed += 1
+        return missed
+
+    def stale_reads(self) -> int:
+        """IDs recovered (via collision records) only after the tag left."""
+        stale = 0
+        for tag, read_time in self.read_at.items():
+            departed = self.departed_at.get(tag)
+            if departed is not None and read_time > departed:
+                stale += 1
+        return stale
+
+
+class FreshTagSource:
+    """Mints distinct, CRC-valid tag IDs for arrivals on demand."""
+
+    def __init__(self, rng: np.random.Generator,
+                 reserved: frozenset[int] = frozenset()) -> None:
+        self._rng = rng
+        self._issued: set[int] = set(reserved)
+
+    def next_ids(self, count: int) -> list[int]:
+        fresh: list[int] = []
+        while len(fresh) < count:
+            payload = int(self._rng.integers(0, 1 << 62)) \
+                | (int(self._rng.integers(0, 1 << (PAYLOAD_BITS - 62))) << 62)
+            tag = make_tag_id(payload)
+            if tag in self._issued:
+                continue
+            self._issued.add(tag)
+            fresh.append(tag)
+        return fresh

@@ -1,0 +1,212 @@
+"""A continuously running FCAT reader over a churning population.
+
+Reuses the core machinery (collision records + cascade, embedded estimator,
+optimal load) but replaces "read everything then stop" with "run for a time
+budget and keep up": tags arrive and depart per a :class:`ChurnModel`, and
+the result reports detection fraction, detection latency and how much the
+collision-record cascade contributed.
+
+Design notes:
+
+* A departed tag's signal *stays* in any collision record it contributed to
+  (the mixed signal was captured while it was present), so its ID can still
+  be recovered after it left -- a *stale read*, counted separately.  This is
+  the paper's "learn new tag IDs after some time" property colliding with
+  mobility.
+* A tag that departs unread and whose records never resolve is a *missed
+  departure* -- the metric that degrades as churn accelerates, tracing the
+  operating boundary section IV-E describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.air.timing import ICODE_TIMING, TimingModel
+from repro.core.collision import RecordStore
+from repro.core.estimator import EmbeddedEstimator
+from repro.core.optimal import optimal_omega
+from repro.dynamics.churn import ChurnModel, FreshTagSource, TagLifetimes
+from repro.sim.active_set import ActiveSet
+from repro.sim.channel import PERFECT_CHANNEL, ChannelModel
+from repro.sim.population import TagPopulation
+
+
+@dataclass(frozen=True)
+class MonitoringConfig:
+    """FCAT parameters plus the monitoring time budget."""
+
+    duration_s: float = 60.0
+    lam: int = 2
+    frame_size: int = 30
+    omega: float | None = None
+    initial_estimate: float = 64.0
+    max_report_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.lam < 2:
+            raise ValueError("lam must be >= 2")
+        if self.frame_size < 1:
+            raise ValueError("frame_size must be >= 1")
+
+    @property
+    def effective_omega(self) -> float:
+        return self.omega if self.omega is not None else optimal_omega(self.lam)
+
+
+@dataclass
+class MonitoringResult:
+    """What a monitoring session observed."""
+
+    config: MonitoringConfig
+    lifetimes: TagLifetimes
+    total_slots: int = 0
+    empty_slots: int = 0
+    singleton_slots: int = 0
+    collision_slots: int = 0
+    resolved_from_collision: int = 0
+    frames: int = 0
+    #: (estimated remaining, true present-and-unread) per frame.
+    tracking_trace: list[tuple[float, int]] = field(default_factory=list)
+
+    @property
+    def tags_appeared(self) -> int:
+        return len(self.lifetimes.arrived_at)
+
+    @property
+    def tags_read(self) -> int:
+        return len(self.lifetimes.read_at)
+
+    @property
+    def missed_departures(self) -> int:
+        return self.lifetimes.missed_departures()
+
+    @property
+    def stale_reads(self) -> int:
+        return self.lifetimes.stale_reads()
+
+    @property
+    def detection_fraction(self) -> float:
+        """Among tags that departed, the fraction read while present."""
+        departed = len(self.lifetimes.departed_at)
+        if departed == 0:
+            return 1.0
+        return 1.0 - self.missed_departures / departed
+
+    def latency_stats(self) -> tuple[float, float]:
+        """(mean, 95th percentile) detection latency in seconds."""
+        latencies = self.lifetimes.detection_latencies()
+        if not latencies:
+            return float("nan"), float("nan")
+        return (float(np.mean(latencies)),
+                float(np.percentile(latencies, 95)))
+
+    def summary(self) -> str:
+        mean_latency, p95 = self.latency_stats()
+        return (f"monitored {self.config.duration_s:.0f}s: "
+                f"{self.tags_read}/{self.tags_appeared} tags read, "
+                f"{self.missed_departures} missed departures, "
+                f"{self.stale_reads} stale reads, "
+                f"latency mean {mean_latency:.2f}s / p95 {p95:.2f}s")
+
+
+class FcatMonitor:
+    """FCAT re-purposed for continuous monitoring of a churning population."""
+
+    def __init__(self, config: MonitoringConfig = MonitoringConfig()) -> None:
+        self.config = config
+
+    def run(self, initial_population: TagPopulation, churn: ChurnModel,
+            rng: np.random.Generator,
+            channel: ChannelModel = PERFECT_CHANNEL,
+            timing: TimingModel = ICODE_TIMING) -> MonitoringResult:
+        config = self.config
+        omega = config.effective_omega
+        lifetimes = TagLifetimes()
+        result = MonitoringResult(config=config, lifetimes=lifetimes)
+        active = ActiveSet(initial_population.ids)
+        present = ActiveSet(initial_population.ids)
+        for tag in initial_population.ids:
+            lifetimes.arrive(tag, 0.0)
+        source = FreshTagSource(rng, reserved=frozenset(present))
+        store = RecordStore(config.lam)
+        estimator = EmbeddedEstimator(
+            omega=omega, frame_size=config.frame_size,
+            initial_guess=config.initial_estimate)
+        slot_seconds = timing.slot_duration
+        depart_probability = churn.departure_probability(slot_seconds)
+        elapsed = 0.0
+        slot_index = 0
+
+        def ack(tag: int) -> None:
+            # A departed tag cannot hear its acknowledgement.
+            if tag in present and channel.ack_received(rng):
+                active.discard(tag)
+
+        def apply_resolutions(resolved: list[tuple[int, int]]) -> None:
+            for tag, _slot in resolved:
+                result.resolved_from_collision += 1
+                lifetimes.read(tag, elapsed)
+                ack(tag)
+
+        while elapsed < config.duration_s:
+            identified_at_start = store.learned_count
+            remaining = estimator.remaining()
+            p = min(omega / remaining, config.max_report_probability)
+            elapsed += timing.advertisement_duration
+            result.frames += 1
+            n_collision = 0
+            for _ in range(config.frame_size):
+                elapsed += slot_seconds
+                self._apply_churn(churn, depart_probability, slot_seconds,
+                                  present, active, lifetimes, source, rng,
+                                  elapsed)
+                slot = slot_index
+                slot_index += 1
+                transmitters = active.sample_binomial(p, rng)
+                k = len(transmitters)
+                result.total_slots += 1
+                if k == 0:
+                    result.empty_slots += 1
+                elif k == 1 and channel.singleton_ok(rng):
+                    result.singleton_slots += 1
+                    tag = transmitters[0]
+                    lifetimes.read(tag, elapsed)
+                    resolved = store.learn(tag)
+                    ack(tag)
+                    apply_resolutions(resolved)
+                else:
+                    result.collision_slots += 1
+                    n_collision += 1
+                    if k >= 2:
+                        usable = channel.record_usable(rng)
+                        _, resolved = store.add_record(slot, transmitters,
+                                                       usable)
+                        apply_resolutions(resolved)
+            estimator.update(n_collision, p, identified_at_start,
+                             store.learned_count)
+            unread_present = len(active)
+            result.tracking_trace.append((estimator.remaining(),
+                                          unread_present))
+        return result
+
+    @staticmethod
+    def _apply_churn(churn: ChurnModel, depart_probability: float,
+                     slot_seconds: float, present: ActiveSet,
+                     active: ActiveSet, lifetimes: TagLifetimes,
+                     source: FreshTagSource, rng: np.random.Generator,
+                     elapsed: float) -> None:
+        for tag in source.next_ids(churn.arrivals_in(slot_seconds, rng)):
+            present.add(tag)
+            active.add(tag)
+            lifetimes.arrive(tag, elapsed)
+        if depart_probability > 0.0 and len(present):
+            departing = present.sample_binomial(depart_probability, rng)
+            for tag in departing:
+                present.discard(tag)
+                active.discard(tag)
+                lifetimes.depart(tag, elapsed)

@@ -1,0 +1,34 @@
+"""Cardinality estimation: how many tags are out there?
+
+The paper's SCAT needs the tag count ``N`` from a pre-step and cites
+Kodialam & Nandagopal (MobiCom 2006, "Fast and Reliable Estimation Schemes
+in RFID Systems") -- reference [24] -- as the way to get it "to an arbitrary
+accuracy".  This package implements that substrate:
+
+* :mod:`repro.estimate.probe` -- probe frames: framed-ALOHA rounds run purely
+  for their slot-occupancy statistics.
+* :mod:`repro.estimate.kodialam` -- the Zero Estimator (ZE) and Collision
+  Estimator (CE) closed forms, and the multi-frame unified procedure that
+  averages probe frames down to a target accuracy.
+
+FCAT exists precisely to make this pre-step unnecessary (section V-A), but
+having it lets the repo run SCAT without an oracle and quantifies what the
+pre-step costs -- see the ``ablation-prestep`` experiment.
+"""
+
+from repro.estimate.kodialam import (
+    CardinalityEstimate,
+    collision_estimator,
+    estimate_tag_count,
+    zero_estimator,
+)
+from repro.estimate.probe import ProbeFrame, run_probe_frame
+
+__all__ = [
+    "CardinalityEstimate",
+    "collision_estimator",
+    "estimate_tag_count",
+    "zero_estimator",
+    "ProbeFrame",
+    "run_probe_frame",
+]

@@ -1,0 +1,59 @@
+"""Probe frames: framed-ALOHA rounds run only for their statistics.
+
+A probe frame advertises a frame size ``L`` and a persistence probability
+``p``; each tag responds with probability ``p`` in one uniformly chosen slot.
+The reader does not decode anything -- it only needs to classify each slot
+as empty / singleton / collision, which takes a short detection period
+rather than a full ID slot.  Slot occupancies are i.i.d.-ish binomial
+thinnings, so the empty/collision counts carry the population size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ProbeFrame:
+    """Observed statistics of one probe frame."""
+
+    frame_size: int
+    persistence: float
+    empty: int
+    singleton: int
+    collision: int
+
+    def __post_init__(self) -> None:
+        if self.empty + self.singleton + self.collision != self.frame_size:
+            raise ValueError("slot counts must partition the frame")
+
+    @property
+    def occupied(self) -> int:
+        return self.singleton + self.collision
+
+
+def run_probe_frame(n_tags: int, frame_size: int, persistence: float,
+                    rng: np.random.Generator) -> ProbeFrame:
+    """Simulate one probe frame over ``n_tags`` responding tags.
+
+    Statistically identical to each tag hashing itself into a slot: the
+    number of responders is binomial, their slots uniform.
+    """
+    if n_tags < 0:
+        raise ValueError("n_tags must be non-negative")
+    if frame_size < 1:
+        raise ValueError("frame_size must be >= 1")
+    if not 0.0 < persistence <= 1.0:
+        raise ValueError("persistence must be in (0, 1]")
+    responders = int(rng.binomial(n_tags, persistence)) if n_tags else 0
+    choices = rng.integers(0, frame_size, size=responders)
+    occupancy = np.bincount(choices, minlength=frame_size)
+    return ProbeFrame(
+        frame_size=frame_size,
+        persistence=persistence,
+        empty=int((occupancy == 0).sum()),
+        singleton=int((occupancy == 1).sum()),
+        collision=int((occupancy >= 2).sum()),
+    )

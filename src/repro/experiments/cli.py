@@ -1,0 +1,189 @@
+"""Command-line driver: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro.experiments table1 --runs 100 --paper-scale
+    python -m repro.experiments all --runs 10 --out results/
+
+Each experiment prints its markdown table or ASCII chart and, with ``--out``,
+also writes it to ``<out>/<name>.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.experiments.ablations import (
+    AblationCaptureConfig,
+    AblationChurnConfig,
+    AblationEnergyConfig,
+    AblationNoiseConfig,
+    AblationPrestepConfig,
+    AblationSnrConfig,
+    CrdsaComparisonConfig,
+    run_ablation_capture,
+    run_ablation_churn,
+    run_ablation_energy,
+    run_ablation_noise,
+    run_ablation_prestep,
+    run_ablation_snr,
+    run_crdsa_comparison,
+)
+from repro.experiments.fig3 import Fig3Config, run_fig3
+from repro.experiments.fig4 import Fig4Config, run_fig4
+from repro.experiments.fig5 import Fig5Config, run_fig5
+from repro.experiments.fig6 import Fig6Config, run_fig6
+from repro.experiments.table1 import Table1Config, run_table1
+from repro.experiments.table2 import Table2Config, run_table2
+from repro.experiments.table3 import Table3Config, run_table3
+from repro.experiments.table4 import Table4Config, run_table4
+
+
+def _render_table1(args: argparse.Namespace) -> str:
+    if args.paper_scale:
+        config = Table1Config.paper_scale(runs=args.runs)
+    else:
+        config = Table1Config(runs=args.runs)
+    return run_table1(config).table.render()
+
+
+def _render_table2(args: argparse.Namespace) -> str:
+    return run_table2(Table2Config(runs=args.runs)).table.render()
+
+
+def _render_table3(args: argparse.Namespace) -> str:
+    return run_table3(Table3Config(runs=args.runs)).table.render()
+
+
+def _render_table4(args: argparse.Namespace) -> str:
+    return run_table4(Table4Config(runs=max(args.runs // 3, 1))).table.render()
+
+
+def _render_fig3(args: argparse.Namespace) -> str:
+    result = run_fig3(Fig3Config(simulate=True))
+    lines = [result.chart.render(), ""]
+    for lam, bias in result.empirical.items():
+        lines.append(f"empirical bias (lambda={lam}, N={result.config.n_max}):"
+                     f" {bias:+.4f}")
+    return "\n".join(lines)
+
+
+def _render_fig4(args: argparse.Namespace) -> str:
+    result = run_fig4(Fig4Config(simulate=True))
+    lines = [result.chart.render(), "",
+             f"singleton count peaks at N ~ {result.singleton_peak_n:.0f}"]
+    if result.empirical is not None:
+        lines.append(f"Monte-Carlo at N={result.config.n_max}: "
+                     f"empty/singleton/collision = "
+                     + "/".join(f"{v:.2f}" for v in result.empirical))
+    return "\n".join(lines)
+
+
+def _render_fig5(args: argparse.Namespace) -> str:
+    result = run_fig5(Fig5Config(runs=max(args.runs // 5, 1)))
+    lines = [result.chart.render(), ""]
+    for lam in result.config.lams:
+        lines.append(f"FCAT-{lam} peaks at omega ~ {result.peak_omega(lam)}")
+    return "\n".join(lines)
+
+
+def _render_fig6(args: argparse.Namespace) -> str:
+    result = run_fig6(Fig6Config(runs=max(args.runs // 5, 1)))
+    lines = [result.chart.render(), ""]
+    for lam in result.config.lams:
+        lines.append(f"FCAT-{lam} plateau spread (f >= 10): "
+                     f"{result.plateau_spread(lam):.1%}")
+    return "\n".join(lines)
+
+
+def _render_ablation_snr(args: argparse.Namespace) -> str:
+    return run_ablation_snr(AblationSnrConfig()).chart.render()
+
+
+def _render_ablation_noise(args: argparse.Namespace) -> str:
+    return run_ablation_noise(
+        AblationNoiseConfig(runs=max(args.runs // 3, 1))).table.render()
+
+
+def _render_crdsa(args: argparse.Namespace) -> str:
+    return run_crdsa_comparison(
+        CrdsaComparisonConfig(runs=max(args.runs // 3, 1))).table.render()
+
+
+def _render_ablation_capture(args: argparse.Namespace) -> str:
+    return run_ablation_capture(
+        AblationCaptureConfig(runs=max(args.runs // 3, 1))).table.render()
+
+
+def _render_ablation_prestep(args: argparse.Namespace) -> str:
+    return run_ablation_prestep(
+        AblationPrestepConfig(runs=max(args.runs // 3, 1))).table.render()
+
+
+def _render_ablation_churn(args: argparse.Namespace) -> str:
+    return run_ablation_churn(AblationChurnConfig()).table.render()
+
+
+def _render_ablation_energy(args: argparse.Namespace) -> str:
+    return run_ablation_energy(
+        AblationEnergyConfig(runs=max(args.runs // 3, 1))).table.render()
+
+
+EXPERIMENTS = {
+    "table1": _render_table1,
+    "table2": _render_table2,
+    "table3": _render_table3,
+    "table4": _render_table4,
+    "fig3": _render_fig3,
+    "fig4": _render_fig4,
+    "fig5": _render_fig5,
+    "fig6": _render_fig6,
+    "ablation-snr": _render_ablation_snr,
+    "ablation-noise": _render_ablation_noise,
+    "ablation-crdsa": _render_crdsa,
+    "ablation-capture": _render_ablation_capture,
+    "ablation-prestep": _render_ablation_prestep,
+    "ablation-churn": _render_ablation_churn,
+    "ablation-energy": _render_ablation_energy,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures")
+    parser.add_argument("experiments", nargs="+",
+                        choices=sorted(EXPERIMENTS) + ["all"],
+                        help="which experiments to run")
+    parser.add_argument("--runs", type=int, default=10,
+                        help="simulation runs per data point (paper: 100)")
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="use the paper's full N grid for table1")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="directory to write <experiment>.md files into")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = sorted(EXPERIMENTS) if "all" in args.experiments \
+        else list(dict.fromkeys(args.experiments))
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        started = time.time()
+        output = EXPERIMENTS[name](args)
+        elapsed = time.time() - started
+        print(output)
+        print(f"[{name} finished in {elapsed:.1f}s]", file=sys.stderr)
+        if args.out is not None:
+            (args.out / f"{name}.md").write_text(output + "\n")
+    return 0
+
+
+# `replace` is re-exported for tools that tweak configs programmatically.
+__all__ = ["main", "build_parser", "EXPERIMENTS", "replace"]

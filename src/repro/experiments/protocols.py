@@ -1,0 +1,32 @@
+"""Protocol rosters used by the experiments (paper section VI preamble)."""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    AdaptiveBinarySplitting,
+    AdaptiveQuerySplitting,
+    Dfsa,
+    Edfsa,
+)
+from repro.core import Fcat
+from repro.sim.base import TagReadingProtocol
+
+#: Frame size used throughout the paper's evaluation.
+PAPER_FRAME_SIZE = 30
+
+
+def fcat_variants(frame_size: int = PAPER_FRAME_SIZE,
+                  lams: tuple[int, ...] = (2, 3, 4)) -> list[TagReadingProtocol]:
+    """FCAT-2/3/4 with the paper's frame size and optimal loads."""
+    return [Fcat(lam=lam, frame_size=frame_size) for lam in lams]
+
+
+def baseline_roster() -> list[TagReadingProtocol]:
+    """The four baselines of Table I: DFSA, EDFSA, ABS, AQS."""
+    return [Dfsa(), Edfsa(), AdaptiveBinarySplitting(),
+            AdaptiveQuerySplitting()]
+
+
+def table1_roster(frame_size: int = PAPER_FRAME_SIZE) -> list[TagReadingProtocol]:
+    """Everything Table I compares, in the paper's column order."""
+    return fcat_variants(frame_size) + baseline_roster()

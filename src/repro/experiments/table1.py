@@ -1,0 +1,70 @@
+"""Table I -- reading throughput (tags/second) as N varies (paper section VI-A).
+
+Paper values for reference: FCAT-2 ~ 197.7-201.7, FCAT-3 ~ 234.8-241.8,
+FCAT-4 ~ 238.8-266.4, DFSA ~ 129.1-132.8, EDFSA ~ 115.9-128.6,
+ABS ~ 123.5-124.2, AQS ~ 117.9-121.3.  Expected shape: FCAT-2 beats the best
+baseline by ~50-70%, FCAT-4 > FCAT-3 > FCAT-2 with shrinking margins, every
+column nearly flat in N.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.protocols import table1_roster
+from repro.experiments.runner import sweep
+from repro.report.tables import MarkdownTable
+from repro.sim.result import AggregateResult
+
+
+def _default_n_values() -> list[int]:
+    return [1000, 5000, 10000, 15000, 20000]
+
+
+@dataclass(frozen=True)
+class Table1Config:
+    """Sweep settings; the paper uses N = 1000..20000 step 1000, 100 runs."""
+
+    n_values: list[int] = field(default_factory=_default_n_values)
+    runs: int = 10
+    seed: int = 20100547  # ICDCS 2010, page 547
+
+    @classmethod
+    def paper_scale(cls, runs: int = 100) -> "Table1Config":
+        return cls(n_values=list(range(1000, 20001, 1000)), runs=runs)
+
+
+@dataclass
+class Table1Result:
+    config: Table1Config
+    cells: dict[tuple[str, int], AggregateResult]
+    protocol_names: list[str]
+    table: MarkdownTable
+
+    def throughput(self, protocol: str, n: int) -> float:
+        return self.cells[(protocol, n)].throughput_mean
+
+    def gain_over(self, baseline: str, challenger: str = "FCAT-2") -> list[float]:
+        """Per-N relative throughput gain of ``challenger`` over ``baseline``."""
+        return [self.throughput(challenger, n) / self.throughput(baseline, n)
+                - 1.0
+                for n in self.config.n_values]
+
+
+def run_table1(config: Table1Config = Table1Config()) -> Table1Result:
+    protocols = table1_roster()
+    cells = sweep(protocols, config.n_values, config.runs, config.seed)
+    names = [protocol.name for protocol in protocols]
+    table = MarkdownTable(
+        title="Table I -- reading throughput (tags/second)",
+        headers=["N"] + names)
+    for n in config.n_values:
+        table.add_row(n, *[cells[(name, n)].throughput_mean for name in names])
+    table.add_note(f"mean of {config.runs} runs per cell; paper averages 100")
+    result = Table1Result(config=config, cells=cells, protocol_names=names,
+                          table=table)
+    gains = result.gain_over("DFSA")
+    table.add_note(
+        f"FCAT-2 gain over DFSA: {min(gains):.1%} .. {max(gains):.1%} "
+        "(paper: 51.1% .. 55.6%)")
+    return result

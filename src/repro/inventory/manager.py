@@ -1,0 +1,105 @@
+"""Multi-location inventory rounds and manifest reconciliation.
+
+An :class:`InventoryRound` reads every location of a
+:class:`~repro.inventory.zones.Warehouse` with a chosen protocol, merges the
+collected IDs (dropping the duplicates that overlapping coverage produces),
+and reports the total reading time.  :func:`reconcile` then diffs the round
+against a manifest -- the administration-error / theft check the paper's
+introduction motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.air.timing import ICODE_TIMING, TimingModel
+from repro.inventory.zones import Warehouse
+from repro.sim.base import TagReadingProtocol
+from repro.sim.channel import PERFECT_CHANNEL, ChannelModel
+from repro.sim.result import ReadingResult
+
+
+@dataclass
+class InventoryRound:
+    """The outcome of reading every location once."""
+
+    warehouse: Warehouse
+    results: list[ReadingResult]
+    observed_ids: frozenset[int]
+    duplicates_discarded: int
+
+    @property
+    def total_duration_s(self) -> float:
+        return sum(result.duration_s for result in self.results)
+
+    @property
+    def throughput(self) -> float:
+        """Unique IDs per second across the whole round."""
+        duration = self.total_duration_s
+        if duration <= 0:
+            raise ValueError("round has zero duration")
+        return len(self.observed_ids) / duration
+
+    def summary(self) -> str:
+        return (f"inventory round: {len(self.observed_ids)} unique tags from "
+                f"{len(self.results)} locations in "
+                f"{self.total_duration_s:.1f}s "
+                f"({self.duplicates_discarded} duplicates discarded)")
+
+
+def run_inventory_round(warehouse: Warehouse, protocol: TagReadingProtocol,
+                        rng: np.random.Generator,
+                        channel: ChannelModel = PERFECT_CHANNEL,
+                        timing: TimingModel = ICODE_TIMING) -> InventoryRound:
+    """Read all locations in sequence with ``protocol`` and merge."""
+    results: list[ReadingResult] = []
+    observed: set[int] = set()
+    duplicates = 0
+    for location in warehouse.locations:
+        result = protocol.read_all(location.population(), rng,
+                                   channel=channel, timing=timing)
+        if not result.complete:
+            raise RuntimeError(
+                f"{protocol.name} left {result.n_tags - result.n_read} tags "
+                f"unread at {location.name}; inventory rounds require "
+                "complete reads")
+        results.append(result)
+        duplicates += len(location.covered_ids & observed)
+        observed |= location.covered_ids
+    return InventoryRound(warehouse=warehouse, results=results,
+                          observed_ids=frozenset(observed),
+                          duplicates_discarded=duplicates)
+
+
+@dataclass
+class InventoryReport:
+    """Manifest reconciliation: what the paper's use case is really after."""
+
+    expected: frozenset[int]
+    observed: frozenset[int]
+    missing: frozenset[int] = field(init=False)
+    unexpected: frozenset[int] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.missing = frozenset(self.expected - self.observed)
+        self.unexpected = frozenset(self.observed - self.expected)
+
+    @property
+    def clean(self) -> bool:
+        return not self.missing and not self.unexpected
+
+    def summary(self) -> str:
+        if self.clean:
+            return "inventory reconciles: no discrepancies"
+        return (f"inventory discrepancies: {len(self.missing)} missing "
+                f"(possible theft/misplacement), {len(self.unexpected)} "
+                "unexpected (possible administration error)")
+
+
+def reconcile(manifest_ids: frozenset[int] | set[int],
+              inventory: InventoryRound) -> InventoryReport:
+    """Diff an inventory round against the bookkeeping manifest."""
+    return InventoryReport(expected=frozenset(manifest_ids),
+                           observed=inventory.observed_ids)

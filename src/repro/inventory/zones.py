@@ -1,0 +1,89 @@
+"""Reader locations and coverage (paper section II-A, first paragraph).
+
+A warehouse deploys tags across an area larger than one reader position's
+range, so the reader (or several) performs the reading process at multiple
+locations; coverage regions overlap, and tags in the overlap are read twice
+(the duplicates are discarded when merging).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.population import TagPopulation
+
+
+@dataclass(frozen=True)
+class ReaderLocation:
+    """One position the reader reads from, and the tags it can hear."""
+
+    name: str
+    covered_ids: frozenset[int]
+
+    def population(self) -> TagPopulation:
+        return TagPopulation(sorted(self.covered_ids), validate=False)
+
+    def __len__(self) -> int:
+        return len(self.covered_ids)
+
+
+class Warehouse:
+    """A deployment of tags partitioned into overlapping reader locations."""
+
+    def __init__(self, locations: list[ReaderLocation]) -> None:
+        if not locations:
+            raise ValueError("a warehouse needs at least one reader location")
+        names = [location.name for location in locations]
+        if len(set(names)) != len(names):
+            raise ValueError("reader location names must be distinct")
+        self.locations = list(locations)
+
+    @property
+    def all_ids(self) -> frozenset[int]:
+        ids: set[int] = set()
+        for location in self.locations:
+            ids |= location.covered_ids
+        return frozenset(ids)
+
+    @property
+    def uncovered_overlap_fraction(self) -> float:
+        """Fraction of tags heard from more than one location."""
+        total = self.all_ids
+        if not total:
+            return 0.0
+        seen_once: set[int] = set()
+        seen_twice: set[int] = set()
+        for location in self.locations:
+            seen_twice |= location.covered_ids & seen_once
+            seen_once |= location.covered_ids
+        return len(seen_twice) / len(total)
+
+    @classmethod
+    def random_layout(cls, population: TagPopulation, n_locations: int,
+                      rng: np.random.Generator,
+                      overlap: float = 0.15) -> "Warehouse":
+        """Split a population into ``n_locations`` contiguous zones.
+
+        Each zone additionally hears ``overlap`` of its neighbours' tags
+        (readers at zone boundaries pick up both sides) so the merge step
+        has real duplicates to discard.
+        """
+        if n_locations < 1:
+            raise ValueError("n_locations must be >= 1")
+        if not 0.0 <= overlap < 1.0:
+            raise ValueError("overlap must be in [0, 1)")
+        ids = list(population.ids)
+        rng.shuffle(ids)
+        chunks = np.array_split(np.arange(len(ids)), n_locations)
+        locations = []
+        for index, chunk in enumerate(chunks):
+            covered = {ids[i] for i in chunk}
+            if overlap and index + 1 < n_locations:
+                neighbour = chunks[index + 1]
+                borrow = neighbour[: max(int(len(neighbour) * overlap), 0)]
+                covered |= {ids[i] for i in borrow}
+            locations.append(ReaderLocation(name=f"location-{index}",
+                                            covered_ids=frozenset(covered)))
+        return cls(locations)

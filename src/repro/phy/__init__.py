@@ -1,0 +1,56 @@
+"""Physical-layer substrate: MSK modem, channel model and the ANC decoder.
+
+The paper's protocols treat "a k-collision slot with k <= lambda is resolvable"
+as a primitive supplied by Analog Network Coding (Katti et al., SIGCOMM 2007).
+This package implements that primitive at the waveform level:
+
+* :mod:`repro.phy.msk` -- Minimum Shift Keying modulation/demodulation over
+  complex baseband samples (the modulation ANC is built on, paper section II-B).
+* :mod:`repro.phy.channel` -- per-tag complex channel gains, AWGN, and the
+  superposition of simultaneous transmissions.
+* :mod:`repro.phy.anc` -- the analog-network-coding operations: amplitude
+  estimation from the energy statistics, known-signal subtraction, residual
+  demodulation, and the Alice-Bob relay exchange of the paper's Fig. 2.
+"""
+
+from repro.phy.channel import ChannelGain, awgn, mix_signals, random_channel
+from repro.phy.msk import (
+    SAMPLES_PER_BIT,
+    msk_demodulate,
+    msk_demodulate_correlator,
+    msk_modulate,
+    msk_phase_trajectory,
+)
+from repro.phy.signal_reader import SignalLevelFcat, SignalSessionResult
+from repro.phy.anc import (
+    AmplitudeEstimate,
+    alice_bob_exchange,
+    decode_residual,
+    estimate_amplitudes,
+    estimate_phase_offset,
+    least_squares_cancel,
+    resolve_collision,
+    subtract_known,
+)
+
+__all__ = [
+    "ChannelGain",
+    "awgn",
+    "mix_signals",
+    "random_channel",
+    "SAMPLES_PER_BIT",
+    "msk_demodulate",
+    "msk_demodulate_correlator",
+    "msk_modulate",
+    "msk_phase_trajectory",
+    "AmplitudeEstimate",
+    "alice_bob_exchange",
+    "decode_residual",
+    "estimate_amplitudes",
+    "estimate_phase_offset",
+    "least_squares_cancel",
+    "resolve_collision",
+    "subtract_known",
+    "SignalLevelFcat",
+    "SignalSessionResult",
+]

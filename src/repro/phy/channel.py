@@ -1,0 +1,98 @@
+"""Channel model: per-tag complex gains, superposition and AWGN.
+
+A tag's transmission reaches the reader attenuated and phase-shifted
+(``h * exp(i*gamma)`` in the paper's Eq. 1).  Tags are static during a reading
+session (section IV-E), so the reader observes the *same* channel for a tag in
+every slot -- which is precisely why subtracting a signal received in a
+singleton slot from an earlier mixed signal works without the channel
+estimation the Alice-Bob setting needs (section II-B, last two paragraphs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ChannelGain:
+    """A static complex channel between one tag and the reader.
+
+    ``freq_offset`` models the residual carrier frequency offset of the tag's
+    free-running oscillator, in radians per sample.  Independent oscillators
+    are what make the *relative* phase of two colliding signals slide across a
+    slot -- the assumption behind the energy-statistics amplitude estimator.
+    It defaults to zero (perfectly locked carriers).
+    """
+
+    attenuation: float
+    phase_shift: float
+    freq_offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.attenuation <= 0:
+            raise ValueError("attenuation must be positive")
+
+    @property
+    def complex_gain(self) -> complex:
+        return self.attenuation * np.exp(1j * self.phase_shift)
+
+    def apply(self, samples: np.ndarray) -> np.ndarray:
+        """Return the transmitted waveform as observed at the reader."""
+        samples = np.asarray(samples, dtype=np.complex128)
+        rotated = samples * self.complex_gain
+        if self.freq_offset:
+            drift = np.exp(1j * self.freq_offset * np.arange(samples.size))
+            rotated = rotated * drift
+        return rotated
+
+
+def random_channel(rng: np.random.Generator,
+                   attenuation_range: tuple[float, float] = (0.4, 1.0),
+                   max_freq_offset: float = 0.0) -> ChannelGain:
+    """Draw a random static channel (uniform attenuation, uniform phase).
+
+    ``max_freq_offset`` (radians/sample) bounds a uniform carrier offset; zero
+    keeps the carriers locked, which is what the collision-resolution path of
+    the paper assumes.
+    """
+    low, high = attenuation_range
+    if not 0 < low <= high:
+        raise ValueError("attenuation_range must satisfy 0 < low <= high")
+    if max_freq_offset < 0:
+        raise ValueError("max_freq_offset must be non-negative")
+    offset = float(rng.uniform(-max_freq_offset, max_freq_offset)) \
+        if max_freq_offset else 0.0
+    return ChannelGain(attenuation=float(rng.uniform(low, high)),
+                       phase_shift=float(rng.uniform(0.0, 2 * np.pi)),
+                       freq_offset=offset)
+
+
+def mix_signals(signals: list[np.ndarray]) -> np.ndarray:
+    """Superpose simultaneous transmissions (what a collision slot records)."""
+    if not signals:
+        raise ValueError("need at least one signal to mix")
+    lengths = {len(s) for s in signals}
+    if len(lengths) != 1:
+        raise ValueError(f"signals must share a length, got {sorted(lengths)}")
+    total = np.zeros(lengths.pop(), dtype=np.complex128)
+    for signal in signals:
+        total += np.asarray(signal, dtype=np.complex128)
+    return total
+
+
+def awgn(samples: np.ndarray, snr_db: float,
+         rng: np.random.Generator, signal_power: float = 1.0) -> np.ndarray:
+    """Add complex white Gaussian noise at the given SNR.
+
+    ``snr_db`` is measured against ``signal_power`` (default: a unit-amplitude
+    tag signal), so the noise floor is the same whether one or several tags
+    transmit -- matching how a receiver's noise is independent of the traffic.
+    """
+    samples = np.asarray(samples, dtype=np.complex128)
+    noise_power = signal_power / (10 ** (snr_db / 10))
+    sigma = np.sqrt(noise_power / 2)
+    noise = rng.normal(0.0, sigma, samples.shape) + 1j * rng.normal(
+        0.0, sigma, samples.shape)
+    return samples + noise

@@ -1,0 +1,117 @@
+"""Minimum Shift Keying (MSK) over complex baseband samples.
+
+MSK is continuous-phase FSK with modulation index 1/2: a '1' bit advances the
+carrier phase by +pi/2 over one bit interval, a '0' bit retards it by pi/2
+(paper section II-B, citing Pasupathy).  We represent a transmission as the
+complex baseband sequence ``s[n] = A * exp(i * theta[n])`` sampled
+``SAMPLES_PER_BIT`` times per bit, with one extra leading sample so that every
+bit interval has a well-defined start and end phase (fence-post convention).
+
+Demodulation integrates per-sample phase increments across each bit interval --
+``angle(y[n+1] * conj(y[n]))`` is robust to phase wrapping -- and decides the
+bit by the sign of the accumulated phase change.  This is exactly the decision
+rule the ANC decoder applies to a residual signal after subtraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Default oversampling factor. Higher is more faithful but slower.
+SAMPLES_PER_BIT = 8
+
+
+def msk_phase_trajectory(bits: np.ndarray, samples_per_bit: int = SAMPLES_PER_BIT,
+                         initial_phase: float = 0.0) -> np.ndarray:
+    """Return the phase sequence ``theta[n]`` for a bit string.
+
+    The result has ``len(bits) * samples_per_bit + 1`` entries; entry 0 is
+    ``initial_phase`` and each bit contributes ``samples_per_bit`` increments of
+    ``+-pi / (2 * samples_per_bit)``.
+    """
+    bits = np.asarray(bits, dtype=np.int8)
+    if bits.ndim != 1:
+        raise ValueError("bits must be a 1-D array")
+    if samples_per_bit < 1:
+        raise ValueError("samples_per_bit must be >= 1")
+    if bits.size and not np.isin(bits, (0, 1)).all():
+        raise ValueError("bits must contain only 0 and 1")
+    step = np.pi / (2 * samples_per_bit)
+    increments = np.where(bits == 1, step, -step)
+    per_sample = np.repeat(increments, samples_per_bit)
+    theta = np.empty(per_sample.size + 1, dtype=np.float64)
+    theta[0] = initial_phase
+    np.cumsum(per_sample, out=theta[1:])
+    theta[1:] += initial_phase
+    return theta
+
+
+def msk_modulate(bits: np.ndarray, amplitude: float = 1.0,
+                 samples_per_bit: int = SAMPLES_PER_BIT,
+                 initial_phase: float = 0.0) -> np.ndarray:
+    """Modulate ``bits`` into a complex baseband MSK waveform."""
+    if amplitude < 0:
+        raise ValueError("amplitude must be non-negative")
+    theta = msk_phase_trajectory(bits, samples_per_bit, initial_phase)
+    return amplitude * np.exp(1j * theta)
+
+
+def msk_demodulate(samples: np.ndarray,
+                   samples_per_bit: int = SAMPLES_PER_BIT) -> np.ndarray:
+    """Demodulate a complex baseband MSK waveform into bits.
+
+    ``samples`` must have ``n_bits * samples_per_bit + 1`` entries (the
+    fence-post convention of :func:`msk_modulate`).  Each bit is decided by the
+    sign of the phase accumulated over its interval.
+    """
+    samples = np.asarray(samples, dtype=np.complex128)
+    if samples.ndim != 1:
+        raise ValueError("samples must be a 1-D array")
+    if (samples.size - 1) % samples_per_bit:
+        raise ValueError(
+            f"sample count {samples.size} does not cover whole bits at "
+            f"{samples_per_bit} samples/bit")
+    n_bits = (samples.size - 1) // samples_per_bit
+    if n_bits == 0:
+        return np.zeros(0, dtype=np.uint8)
+    # Per-sample phase increments, wrap-free.
+    deltas = np.angle(samples[1:] * np.conj(samples[:-1]))
+    per_bit = deltas.reshape(n_bits, samples_per_bit).sum(axis=1)
+    return (per_bit > 0).astype(np.uint8)
+
+
+def msk_demodulate_correlator(samples: np.ndarray,
+                              samples_per_bit: int = SAMPLES_PER_BIT
+                              ) -> np.ndarray:
+    """Noncoherent per-bit correlator detection of MSK.
+
+    For each bit interval, correlate against the two frequency hypotheses
+    (phase ramps of ``+-pi/2`` across the interval) and pick the larger
+    correlation magnitude.  A textbook caveat applies: MSK's tone spacing of
+    ``1/(2T)`` is only *coherently* orthogonal, so noncoherent correlation
+    measures essentially the same BER as the phase-difference detector of
+    :func:`msk_demodulate` (both a few dB inside the noncoherent-FSK curve;
+    closing the gap to the coherent bound would need phase tracking or a
+    CPM Viterbi receiver).  Kept as the alternative detector because its
+    failure statistics differ -- errors cluster differently under burst
+    noise -- and because the equivalence is worth pinning in a test.
+    Same fence-post sample convention as :func:`msk_demodulate`.
+    """
+    samples = np.asarray(samples, dtype=np.complex128)
+    if samples.ndim != 1:
+        raise ValueError("samples must be a 1-D array")
+    if (samples.size - 1) % samples_per_bit:
+        raise ValueError(
+            f"sample count {samples.size} does not cover whole bits at "
+            f"{samples_per_bit} samples/bit")
+    n_bits = (samples.size - 1) // samples_per_bit
+    if n_bits == 0:
+        return np.zeros(0, dtype=np.uint8)
+    ramp = (np.arange(1, samples_per_bit + 1)
+            * (np.pi / (2 * samples_per_bit)))
+    up = np.exp(-1j * ramp)
+    down = np.exp(1j * ramp)
+    intervals = samples[1:].reshape(n_bits, samples_per_bit)
+    score_up = np.abs(intervals @ up)
+    score_down = np.abs(intervals @ down)
+    return (score_up > score_down).astype(np.uint8)

@@ -1,0 +1,207 @@
+"""FCAT executed entirely at the waveform level.
+
+The protocol-level simulator (:mod:`repro.core.fcat`) models slot outcomes
+combinatorially.  This module closes the loop: a small population of
+:class:`SignalTag` objects with static channels actually *transmits MSK
+waveforms*; the reader demodulates every report segment, CRC-classifies it,
+stores the raw mixed samples of collision slots, and resolves records by
+genuine signal subtraction (:func:`repro.phy.anc.resolve_collision`).  No
+hidden participant sets anywhere -- if the subtraction or the CRC fails, the
+record stays unresolved, exactly like hardware would behave.
+
+It is quadratic-ish in population size (every stored mixed signal is
+re-examined whenever an ID is learned), so it is meant for populations of
+tens to a few hundred tags: enough to validate that the abstract simulator's
+resolvability rule matches the physics (see
+``tests/phy/test_signal_reader.py`` and the A1 benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.air.crc import verify_crc_bits
+from repro.air.hashing import DEFAULT_HASH_BITS, report_threshold, tag_transmits
+from repro.air.ids import ID_BITS, bits_to_int, id_to_bits
+from repro.core.optimal import optimal_omega
+from repro.phy.anc import decode_residual, subtract_known
+from repro.phy.channel import ChannelGain, awgn, random_channel
+from repro.phy.msk import msk_modulate
+from repro.sim.population import TagPopulation
+
+
+@dataclass
+class SignalTag:
+    """A tag with its ID, static channel, and cached as-received waveform."""
+
+    tag_id: int
+    channel: ChannelGain
+    samples_per_bit: int
+    active: bool = True
+    _waveform: np.ndarray | None = None
+
+    def waveform(self) -> np.ndarray:
+        """The tag's ID transmission as observed at the reader.
+
+        Static channel + phase-locked carrier (the paper's assumption), so
+        the same waveform appears in every slot the tag transmits in.
+        """
+        if self._waveform is None:
+            self._waveform = self.channel.apply(
+                msk_modulate(id_to_bits(self.tag_id),
+                             samples_per_bit=self.samples_per_bit))
+        return self._waveform
+
+
+@dataclass
+class SignalRecord:
+    """A stored collision slot: slot index, threshold and raw samples."""
+
+    slot_index: int
+    threshold: int
+    mixed: np.ndarray
+    #: Known constituent waveforms already credited to this record.
+    known_waveforms: list[np.ndarray] = field(default_factory=list)
+    known_ids: set[int] = field(default_factory=set)
+    retired: bool = False
+
+
+@dataclass
+class SignalSessionResult:
+    """Outcome of a waveform-level FCAT session."""
+
+    n_tags: int
+    read_ids: set[int]
+    empty_slots: int = 0
+    singleton_slots: int = 0
+    collision_slots: int = 0
+    resolved_from_collision: int = 0
+    total_slots: int = 0
+    unresolved_records: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return len(self.read_ids) == self.n_tags
+
+
+class SignalLevelFcat:
+    """A waveform-faithful FCAT reader for small populations."""
+
+    def __init__(self, lam: int = 2, snr_db: float = 25.0,
+                 samples_per_bit: int = 4,
+                 max_report_probability: float = 0.5,
+                 empty_streak_for_probe: int = 10,
+                 max_slots: int = 20_000) -> None:
+        if lam < 2:
+            raise ValueError("lam must be >= 2")
+        self.lam = lam
+        self.snr_db = snr_db
+        self.samples_per_bit = samples_per_bit
+        self.max_report_probability = max_report_probability
+        self.empty_streak_for_probe = empty_streak_for_probe
+        self.max_slots = max_slots
+
+    def read_all(self, population: TagPopulation,
+                 rng: np.random.Generator) -> SignalSessionResult:
+        tags = [SignalTag(tag_id=tag, channel=random_channel(rng),
+                          samples_per_bit=self.samples_per_bit)
+                for tag in population.ids]
+        result = SignalSessionResult(n_tags=len(tags), read_ids=set())
+        records: list[SignalRecord] = []
+        known_waveforms: dict[int, np.ndarray] = {}
+        omega = optimal_omega(self.lam)
+        slot = 0
+        empty_streak = 0
+        n_samples = ID_BITS * self.samples_per_bit + 1
+        while slot < self.max_slots:
+            probing = empty_streak >= self.empty_streak_for_probe
+            remaining = max(len(tags) - len(result.read_ids), 1)
+            p = 1.0 if probing else min(omega / remaining,
+                                        self.max_report_probability)
+            threshold = report_threshold(p, DEFAULT_HASH_BITS)
+            transmitters = [tag for tag in tags if tag.active
+                            and tag_transmits(tag.tag_id, slot, threshold)]
+            result.total_slots += 1
+            if not transmitters:
+                result.empty_slots += 1
+                if probing:
+                    break
+                empty_streak += 1
+                slot += 1
+                continue
+            empty_streak = 0
+            received = awgn(
+                np.sum([tag.waveform() for tag in transmitters], axis=0)
+                if len(transmitters) > 1 else transmitters[0].waveform(),
+                self.snr_db, rng)
+            assert received.size == n_samples
+            decoded = self._try_decode(received)
+            if decoded is not None:
+                result.singleton_slots += 1
+                self._learn(decoded, received, tags, result, records,
+                            known_waveforms)
+            else:
+                result.collision_slots += 1
+                records.append(SignalRecord(slot_index=slot,
+                                            threshold=threshold,
+                                            mixed=received))
+            slot += 1
+        result.unresolved_records = sum(1 for record in records
+                                        if not record.retired)
+        return result
+
+    # -- reader internals ---------------------------------------------------
+
+    def _try_decode(self, samples: np.ndarray) -> int | None:
+        """Demodulate and CRC-check; None when the slot does not decode."""
+        bits = decode_residual(samples, self.samples_per_bit)
+        if bits.size and verify_crc_bits(bits):
+            return bits_to_int(bits)
+        return None
+
+    def _learn(self, tag_id: int, observed: np.ndarray,
+               tags: list[SignalTag], result: SignalSessionResult,
+               records: list[SignalRecord],
+               known_waveforms: dict[int, np.ndarray]) -> None:
+        """Register a learned ID and run the resolution cascade on records."""
+        queue = [(tag_id, observed)]
+        while queue:
+            current, waveform = queue.pop()
+            if current in result.read_ids:
+                continue
+            result.read_ids.add(current)
+            known_waveforms[current] = waveform
+            # Acknowledge: the tag stops participating.
+            for tag in tags:
+                if tag.tag_id == current:
+                    tag.active = False
+            # Replay the hash test over every stored record (what a real
+            # reader does: H(ID|j) <= threshold_j) and try the subtraction.
+            for record in records:
+                if record.retired:
+                    continue
+                if current in record.known_ids:
+                    continue
+                if not tag_transmits(current, record.slot_index,
+                                     record.threshold):
+                    continue
+                record.known_ids.add(current)
+                record.known_waveforms.append(waveform)
+                if len(record.known_waveforms) > self.lam - 1:
+                    # More constituents than the decoder can peel: spent.
+                    record.retired = True
+                    continue
+                residual = record.mixed
+                for known in record.known_waveforms:
+                    residual = subtract_known(residual, known)
+                recovered_bits = decode_residual(residual,
+                                                 self.samples_per_bit)
+                if recovered_bits.size and verify_crc_bits(recovered_bits):
+                    recovered = bits_to_int(recovered_bits)
+                    record.retired = True
+                    if recovered not in result.read_ids:
+                        result.resolved_from_collision += 1
+                        queue.append((recovered, residual))
+        return

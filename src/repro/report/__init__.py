@@ -1,0 +1,19 @@
+"""Dependency-free reporting: ASCII line charts and markdown tables.
+
+The offline environment has no plotting library, so the figure experiments
+render their curves as character grids (good enough to see shapes, peaks and
+crossovers) and every table experiment renders GitHub-flavoured markdown.
+"""
+
+from repro.report.ascii_chart import AsciiChart
+from repro.report.session_plot import (
+    estimate_sparkline,
+    render_session,
+    slot_strip,
+)
+from repro.report.svg_chart import SvgChart, svg_from_ascii_chart
+from repro.report.tables import MarkdownTable, format_number
+
+__all__ = ["AsciiChart", "SvgChart", "svg_from_ascii_chart",
+           "MarkdownTable", "format_number",
+           "estimate_sparkline", "render_session", "slot_strip"]

@@ -1,0 +1,84 @@
+"""A small ASCII line-chart renderer for the figure experiments.
+
+Plots one or more named series on a shared character grid with y-axis labels
+and per-series glyphs -- enough to eyeball the unimodal omega curve of
+Fig. 5, the plateau of Fig. 6 or the crossing expectations of Fig. 4 in a
+terminal or a markdown code block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+_GLYPHS = "*o+x#@%&"
+
+
+@dataclass
+class AsciiChart:
+    """Accumulates (x, y) series and renders them on a character grid."""
+
+    title: str
+    width: int = 72
+    height: int = 18
+    x_label: str = "x"
+    y_label: str = "y"
+    series: list[tuple[str, np.ndarray, np.ndarray]] = field(
+        default_factory=list)
+
+    def add_series(self, name: str, x: np.ndarray, y: np.ndarray) -> None:
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.shape != y.shape or x.ndim != 1:
+            raise ValueError("x and y must be 1-D arrays of equal length")
+        if x.size == 0:
+            raise ValueError("series must contain at least one point")
+        if len(self.series) >= len(_GLYPHS):
+            raise ValueError(f"at most {len(_GLYPHS)} series supported")
+        self.series.append((name, x, y))
+
+    def render(self) -> str:
+        if not self.series:
+            raise ValueError("no series to plot")
+        x_min = min(float(x.min()) for _, x, _ in self.series)
+        x_max = max(float(x.max()) for _, x, _ in self.series)
+        y_min = min(float(y.min()) for _, _, y in self.series)
+        y_max = max(float(y.max()) for _, _, y in self.series)
+        if x_max == x_min:
+            x_max = x_min + 1.0
+        if y_max == y_min:
+            y_max = y_min + 1.0
+        grid = [[" "] * self.width for _ in range(self.height)]
+        for index, (_, xs, ys) in enumerate(self.series):
+            glyph = _GLYPHS[index]
+            for x, y in zip(xs, ys):
+                col = int(round((x - x_min) / (x_max - x_min)
+                                * (self.width - 1)))
+                row = int(round((y - y_min) / (y_max - y_min)
+                                * (self.height - 1)))
+                grid[self.height - 1 - row][col] = glyph
+        lines = [self.title]
+        legend = "   ".join(f"{_GLYPHS[i]} {name}"
+                            for i, (name, _, _) in enumerate(self.series))
+        lines.append(legend)
+        top_label = f"{y_max:.6g}"
+        bottom_label = f"{y_min:.6g}"
+        label_width = max(len(top_label), len(bottom_label))
+        for row_index, row in enumerate(grid):
+            if row_index == 0:
+                label = top_label.rjust(label_width)
+            elif row_index == self.height - 1:
+                label = bottom_label.rjust(label_width)
+            else:
+                label = " " * label_width
+            lines.append(f"{label} |{''.join(row)}")
+        axis = " " * label_width + " +" + "-" * self.width
+        lines.append(axis)
+        footer = (f"{' ' * label_width}  {x_min:.6g}"
+                  f"{' ' * max(self.width - 24, 1)}{x_max:.6g}  ({self.x_label})")
+        lines.append(footer)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,77 @@
+"""Render a :class:`~repro.sim.trace.SessionTrace` as an ASCII timeline.
+
+One character per slot, wrapped into rows:
+
+* ``.`` empty slot
+* ``s`` singleton slot
+* ``x`` collision slot (mixed signal recorded)
+* ``R`` a slot in which at least one ID was *resolved* from a stored record
+  (the ANC payoff -- these are collisions or singletons whose cascade fired)
+* ``!`` a termination probe
+
+Below the strip, a sparkline of the estimator's remaining-count trace shows
+the bootstrap doubling, the tracking phase and the drain to zero.  Everything
+is plain text so a session can be eyeballed in a terminal or pasted into an
+issue.
+"""
+
+from __future__ import annotations
+
+from repro.sim.trace import SessionTrace, SlotKind
+
+_SPARK = " .:-=+*#%@"
+
+
+def slot_strip(trace: SessionTrace, width: int = 72) -> str:
+    """The per-slot character strip, wrapped at ``width`` columns."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    characters = []
+    for event in trace.events:
+        if event.probe:
+            characters.append("!")
+        elif event.learned and event.kind is not SlotKind.SINGLETON:
+            characters.append("R")
+        elif event.kind is SlotKind.EMPTY:
+            characters.append(".")
+        elif event.kind is SlotKind.SINGLETON:
+            characters.append("R" if len(event.learned) > 1 else "s")
+        else:
+            characters.append("x")
+    strip = "".join(characters)
+    lines = [strip[start:start + width]
+             for start in range(0, len(strip), width)]
+    return "\n".join(lines)
+
+
+def estimate_sparkline(trace: SessionTrace, width: int = 72) -> str:
+    """The estimator's remaining-count trace as a one-line sparkline."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if not trace.estimates:
+        return "(no estimator samples)"
+    values = [value for _, value in trace.estimates]
+    # Downsample/interpolate to the requested width.
+    if len(values) > width:
+        step = len(values) / width
+        values = [values[int(index * step)] for index in range(width)]
+    peak = max(values)
+    if peak <= 0:
+        return _SPARK[1] * len(values)
+    levels = len(_SPARK) - 1
+    return "".join(_SPARK[max(1, round(value / peak * levels))]
+                   for value in values)
+
+
+def render_session(trace: SessionTrace, width: int = 72) -> str:
+    """Full session view: legend, slot strip, estimate sparkline."""
+    lines = [
+        trace.summary(),
+        "legend: . empty   s singleton   x collision   "
+        "R resolution fired   ! probe",
+        slot_strip(trace, width),
+        "",
+        "estimator remaining-count trace (peak-normalized):",
+        estimate_sparkline(trace, width),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""Dependency-free SVG line charts.
+
+The offline environment has no plotting library, so figure experiments can
+also emit standalone ``.svg`` files: axes with tick labels, one polyline +
+markers per series, a legend, and a title.  The drawing model mirrors
+:class:`~repro.report.ascii_chart.AsciiChart`; :func:`svg_from_ascii_chart`
+converts one directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.report.ascii_chart import AsciiChart
+
+_PALETTE = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+            "#8c564b", "#17becf", "#7f7f7f")
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 10:
+        return f"{value:.0f}"
+    return f"{value:.2g}"
+
+
+@dataclass
+class SvgChart:
+    """Accumulates (x, y) series and renders a standalone SVG document."""
+
+    title: str
+    width: int = 640
+    height: int = 400
+    x_label: str = "x"
+    y_label: str = "y"
+    series: list[tuple[str, np.ndarray, np.ndarray]] = field(
+        default_factory=list)
+
+    #: Plot-area margins: left, top, right, bottom.
+    _margins: tuple[int, int, int, int] = (64, 48, 16, 48)
+
+    def add_series(self, name: str, x: np.ndarray, y: np.ndarray) -> None:
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.shape != y.shape or x.ndim != 1 or x.size == 0:
+            raise ValueError("x and y must be equal-length non-empty 1-D")
+        if len(self.series) >= len(_PALETTE):
+            raise ValueError(f"at most {len(_PALETTE)} series supported")
+        self.series.append((name, x, y))
+
+    def _bounds(self) -> tuple[float, float, float, float]:
+        x_min = min(float(x.min()) for _, x, _ in self.series)
+        x_max = max(float(x.max()) for _, x, _ in self.series)
+        y_min = min(float(y.min()) for _, _, y in self.series)
+        y_max = max(float(y.max()) for _, _, y in self.series)
+        if x_max == x_min:
+            x_max = x_min + 1.0
+        if y_max == y_min:
+            y_max = y_min + 1.0
+        pad = 0.04 * (y_max - y_min)
+        return x_min, x_max, y_min - pad, y_max + pad
+
+    def render(self) -> str:
+        if not self.series:
+            raise ValueError("no series to plot")
+        left, top, right, bottom = self._margins
+        plot_w = self.width - left - right
+        plot_h = self.height - top - bottom
+        x_min, x_max, y_min, y_max = self._bounds()
+
+        def sx(x: float) -> float:
+            return left + (x - x_min) / (x_max - x_min) * plot_w
+
+        def sy(y: float) -> float:
+            return top + plot_h - (y - y_min) / (y_max - y_min) * plot_h
+
+        parts: list[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} '
+            f'{self.height}" font-family="sans-serif">',
+            f'<rect width="{self.width}" height="{self.height}" '
+            'fill="white"/>',
+            f'<text x="{self.width / 2:.0f}" y="24" text-anchor="middle" '
+            f'font-size="14" font-weight="bold">{_escape(self.title)}</text>',
+        ]
+        # Gridlines + ticks.
+        for i in range(5):
+            y_value = y_min + (y_max - y_min) * i / 4
+            y_pixel = sy(y_value)
+            parts.append(f'<line x1="{left}" y1="{y_pixel:.1f}" '
+                         f'x2="{left + plot_w}" y2="{y_pixel:.1f}" '
+                         'stroke="#dddddd" stroke-width="1"/>')
+            parts.append(f'<text x="{left - 6}" y="{y_pixel + 4:.1f}" '
+                         'text-anchor="end" font-size="10">'
+                         f'{_format_tick(y_value)}</text>')
+        for i in range(5):
+            x_value = x_min + (x_max - x_min) * i / 4
+            x_pixel = sx(x_value)
+            parts.append(f'<text x="{x_pixel:.1f}" '
+                         f'y="{top + plot_h + 16}" text-anchor="middle" '
+                         f'font-size="10">{_format_tick(x_value)}</text>')
+        # Axes.
+        parts.append(f'<rect x="{left}" y="{top}" width="{plot_w}" '
+                     f'height="{plot_h}" fill="none" stroke="#444444"/>')
+        parts.append(f'<text x="{left + plot_w / 2:.0f}" '
+                     f'y="{self.height - 10}" text-anchor="middle" '
+                     f'font-size="11">{_escape(self.x_label)}</text>')
+        parts.append(f'<text x="16" y="{top + plot_h / 2:.0f}" '
+                     f'font-size="11" text-anchor="middle" transform='
+                     f'"rotate(-90 16 {top + plot_h / 2:.0f})">'
+                     f'{_escape(self.y_label)}</text>')
+        # Series.
+        for index, (name, xs, ys) in enumerate(self.series):
+            color = _PALETTE[index]
+            order = np.argsort(xs)
+            points = " ".join(f"{sx(float(xs[j])):.1f},"
+                              f"{sy(float(ys[j])):.1f}" for j in order)
+            parts.append(f'<polyline points="{points}" fill="none" '
+                         f'stroke="{color}" stroke-width="2"/>')
+            for j in order:
+                parts.append(f'<circle cx="{sx(float(xs[j])):.1f}" '
+                             f'cy="{sy(float(ys[j])):.1f}" r="3" '
+                             f'fill="{color}"/>')
+            legend_y = top + 14 + 16 * index
+            parts.append(f'<rect x="{left + plot_w - 130}" '
+                         f'y="{legend_y - 9}" width="10" height="10" '
+                         f'fill="{color}"/>')
+            parts.append(f'<text x="{left + plot_w - 116}" y="{legend_y}" '
+                         f'font-size="11">{_escape(name)}</text>')
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def svg_from_ascii_chart(chart: AsciiChart, width: int = 640,
+                         height: int = 400) -> SvgChart:
+    """Build an :class:`SvgChart` from an existing ASCII chart's series."""
+    svg = SvgChart(title=chart.title, width=width, height=height,
+                   x_label=chart.x_label, y_label=chart.y_label)
+    for name, x, y in chart.series:
+        svg.add_series(name, x, y)
+    return svg

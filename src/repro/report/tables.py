@@ -1,0 +1,59 @@
+"""Markdown table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+def format_number(value: Any, digits: int = 1) -> str:
+    """Human-friendly cell formatting: ints stay ints, floats get ``digits``."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value - round(value)) < 1e-9 and abs(value) < 1e15:
+            return str(int(round(value)))
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+@dataclass
+class MarkdownTable:
+    """A titled markdown table accumulated row by row."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} "
+                "columns")
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self, digits: int = 1) -> str:
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append(
+                "| " + " | ".join(format_number(cell, digits) for cell in row)
+                + " |")
+        if self.notes:
+            lines.append("")
+            for note in self.notes:
+                lines.append(f"> {note}")
+        lines.append("")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

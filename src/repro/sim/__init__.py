@@ -1,0 +1,37 @@
+"""Protocol-level simulation substrate.
+
+The paper's evaluation (section VI) runs at slot granularity: what matters to a
+reading protocol is how many tags transmitted in each slot, not the waveforms.
+This package provides the pieces shared by the paper's protocols
+(:mod:`repro.core`) and the baselines (:mod:`repro.baselines`):
+
+* :mod:`repro.sim.active_set` -- O(1) add/remove/sample set of active tags, so
+  a slot costs O(#transmitters) instead of O(N).
+* :mod:`repro.sim.channel` -- channel-error knobs (corrupted singletons, lost
+  acknowledgements, unresolvable collision records; paper section IV-E).
+* :mod:`repro.sim.result` -- slot accounting and :class:`ReadingResult`.
+* :mod:`repro.sim.population` -- tag populations (real 96-bit IDs).
+* :mod:`repro.sim.base` -- the :class:`TagReadingProtocol` interface.
+"""
+
+from repro.sim.active_set import ActiveSet
+from repro.sim.base import TagReadingProtocol, run_many
+from repro.sim.channel import ChannelModel, PERFECT_CHANNEL
+from repro.sim.population import TagPopulation
+from repro.sim.result import AggregateResult, ReadingResult, aggregate
+from repro.sim.trace import SessionTrace, SlotEvent, SlotKind
+
+__all__ = [
+    "SessionTrace",
+    "SlotEvent",
+    "SlotKind",
+    "ActiveSet",
+    "TagReadingProtocol",
+    "run_many",
+    "ChannelModel",
+    "PERFECT_CHANNEL",
+    "TagPopulation",
+    "AggregateResult",
+    "ReadingResult",
+    "aggregate",
+]

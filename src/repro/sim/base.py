@@ -1,0 +1,60 @@
+"""The protocol interface every reading protocol implements.
+
+A protocol reads a whole :class:`~repro.sim.population.TagPopulation` and
+returns a :class:`~repro.sim.result.ReadingResult`.  Protocols are stateless
+configuration objects: all per-session state lives inside ``read_all`` so the
+same instance can run many independent sessions (the paper averages 100 runs
+per data point).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.air.timing import ICODE_TIMING, TimingModel
+from repro.sim.channel import PERFECT_CHANNEL, ChannelModel
+from repro.sim.population import TagPopulation
+from repro.sim.result import AggregateResult, ReadingResult, aggregate
+
+
+class TagReadingProtocol(ABC):
+    """A complete tag-identification protocol (reader plus tag behaviour)."""
+
+    #: Human-readable protocol name used in reports (e.g. ``"FCAT-2"``).
+    name: str = "protocol"
+
+    @abstractmethod
+    def read_all(self, population: TagPopulation, rng: np.random.Generator,
+                 channel: ChannelModel = PERFECT_CHANNEL,
+                 timing: TimingModel = ICODE_TIMING) -> ReadingResult:
+        """Run one complete reading session and return its accounting."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+def run_many(protocol: TagReadingProtocol, population: TagPopulation,
+             runs: int, seed: int,
+             channel: ChannelModel = PERFECT_CHANNEL,
+             timing: TimingModel = ICODE_TIMING) -> AggregateResult:
+    """Average ``runs`` independent sessions (the paper's 100-run averaging).
+
+    Each run gets an independent child generator spawned from ``seed`` so the
+    whole sweep is reproducible yet runs are uncorrelated.
+    """
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
+    results: list[ReadingResult] = []
+    seeds = np.random.SeedSequence(seed).spawn(runs)
+    for child in seeds:
+        rng = np.random.default_rng(child)
+        result = protocol.read_all(population, rng, channel=channel,
+                                   timing=timing)
+        if not result.complete and channel is PERFECT_CHANNEL:
+            raise RuntimeError(
+                f"{protocol.name} failed to read all tags on a perfect "
+                f"channel ({result.n_read}/{result.n_tags})")
+        results.append(result)
+    return aggregate(results)

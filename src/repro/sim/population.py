@@ -1,0 +1,50 @@
+"""Tag populations.
+
+A population is an immutable list of distinct, CRC-valid 96-bit tag IDs.  The
+query-tree baselines split on ID bits, so IDs are real (uniform payloads), not
+surrogates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.air.ids import generate_tag_ids, verify_tag_id
+
+
+class TagPopulation:
+    """An immutable set of distinct tag IDs deployed in the reading range."""
+
+    def __init__(self, tag_ids: Sequence[int], validate: bool = True) -> None:
+        ids = list(tag_ids)
+        if len(set(ids)) != len(ids):
+            raise ValueError("tag IDs must be distinct")
+        if validate:
+            for tag_id in ids:
+                if not verify_tag_id(tag_id):
+                    raise ValueError(f"invalid tag ID (bad CRC): {tag_id:#x}")
+        self._ids = tuple(ids)
+        self._idset = frozenset(ids)
+
+    @classmethod
+    def random(cls, count: int, rng: np.random.Generator) -> "TagPopulation":
+        """Deploy ``count`` tags with uniformly random payloads."""
+        return cls(generate_tag_ids(count, rng), validate=False)
+
+    @property
+    def ids(self) -> tuple[int, ...]:
+        return self._ids
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._ids)
+
+    def __contains__(self, tag_id: int) -> bool:
+        return tag_id in self._idset
+
+    def __repr__(self) -> str:
+        return f"TagPopulation({len(self._ids)} tags)"

@@ -1,0 +1,123 @@
+"""Slot accounting and results of a reading session.
+
+A :class:`ReadingResult` captures everything the paper's tables report: the
+empty/singleton/collision slot split (Table II), the number of IDs recovered
+from collision records (Table III), and -- through the timing model -- the
+reading throughput in tags per second (Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean, stdev
+from typing import Any
+
+from repro.air.timing import ICODE_TIMING, TimingModel
+
+
+@dataclass
+class ReadingResult:
+    """Outcome of one reading session of one protocol."""
+
+    protocol: str
+    n_tags: int
+    n_read: int
+    empty_slots: int = 0
+    singleton_slots: int = 0
+    collision_slots: int = 0
+    #: Reader advertisements broadcast (per slot for SCAT, per frame for FCAT).
+    advertisements: int = 0
+    #: Resolved collision records announced by 23-bit slot index (FCAT).
+    index_announcements: int = 0
+    #: Resolved tags announced by full 96-bit ID (SCAT).
+    id_announcements: int = 0
+    #: IDs recovered by resolving collision records rather than singletons.
+    resolved_from_collision: int = 0
+    #: Total tag transmissions over the session (battery cost: the paper's
+    #: active tags pay per ID broadcast).
+    tag_transmissions: int = 0
+    frames: int = 0
+    #: Air time spent before the session proper (e.g. SCAT's cardinality
+    #: pre-estimation probe frames).
+    presession_s: float = 0.0
+    timing: TimingModel = ICODE_TIMING
+    #: Per-frame tag-count estimates (FCAT's embedded estimator trace).
+    estimate_trace: list[float] = field(default_factory=list)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def total_slots(self) -> int:
+        return self.empty_slots + self.singleton_slots + self.collision_slots
+
+    @property
+    def duration_s(self) -> float:
+        """Session wall-clock per the timing model, announcements included."""
+        return self.presession_s + self.timing.session_seconds(
+            slots=self.total_slots,
+            advertisements=self.advertisements,
+            index_announcements=self.index_announcements,
+            id_announcements=self.id_announcements,
+        )
+
+    @property
+    def throughput(self) -> float:
+        """Unique tag IDs collected per second (the paper's headline metric)."""
+        duration = self.duration_s
+        if duration <= 0:
+            raise ValueError("session has zero duration")
+        return self.n_read / duration
+
+    @property
+    def complete(self) -> bool:
+        """Whether every tag in the population was identified."""
+        return self.n_read == self.n_tags
+
+    def summary(self) -> str:
+        return (f"{self.protocol}: read {self.n_read}/{self.n_tags} tags in "
+                f"{self.total_slots} slots ({self.empty_slots} empty / "
+                f"{self.singleton_slots} singleton / {self.collision_slots} "
+                f"collision), {self.throughput:.1f} tags/s")
+
+
+@dataclass(frozen=True)
+class AggregateResult:
+    """Mean/stddev of a metric across repeated runs (paper averages 100)."""
+
+    protocol: str
+    n_tags: int
+    runs: int
+    throughput_mean: float
+    throughput_std: float
+    empty_mean: float
+    singleton_mean: float
+    collision_mean: float
+    total_slots_mean: float
+    resolved_mean: float
+
+    @property
+    def resolved_fraction(self) -> float:
+        """Fraction of IDs recovered from collision slots (Table III)."""
+        return self.resolved_mean / self.n_tags if self.n_tags else 0.0
+
+
+def aggregate(results: list[ReadingResult]) -> AggregateResult:
+    """Collapse repeated runs of one (protocol, N) cell into summary stats."""
+    if not results:
+        raise ValueError("need at least one result to aggregate")
+    protocols = {r.protocol for r in results}
+    sizes = {r.n_tags for r in results}
+    if len(protocols) != 1 or len(sizes) != 1:
+        raise ValueError("results mix protocols or population sizes")
+    throughputs = [r.throughput for r in results]
+    return AggregateResult(
+        protocol=protocols.pop(),
+        n_tags=sizes.pop(),
+        runs=len(results),
+        throughput_mean=mean(throughputs),
+        throughput_std=stdev(throughputs) if len(throughputs) > 1 else 0.0,
+        empty_mean=mean(r.empty_slots for r in results),
+        singleton_mean=mean(r.singleton_slots for r in results),
+        collision_mean=mean(r.collision_slots for r in results),
+        total_slots_mean=mean(r.total_slots for r in results),
+        resolved_mean=mean(r.resolved_from_collision for r in results),
+    )

@@ -1,0 +1,68 @@
+"""Per-slot session tracing for debugging and visualisation.
+
+Protocols that support tracing (FCAT does) append one :class:`SlotEvent`
+per slot when handed a :class:`SessionTrace`.  The trace is intentionally
+reader-perspective only: it records what the reader advertised and observed,
+never the hidden transmitter sets, so a trace is exactly what a hardware
+reader's debug log would contain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class SlotKind(Enum):
+    EMPTY = "empty"
+    SINGLETON = "singleton"
+    COLLISION = "collision"
+
+
+@dataclass(frozen=True)
+class SlotEvent:
+    """One slot as the reader experienced it."""
+
+    slot_index: int
+    frame_index: int
+    kind: SlotKind
+    report_probability: float
+    #: IDs learned in this slot (singleton decode plus cascade resolutions).
+    learned: tuple[int, ...] = ()
+    probe: bool = False
+
+
+@dataclass
+class SessionTrace:
+    """An append-only log of slot events plus per-frame estimator snapshots."""
+
+    events: list[SlotEvent] = field(default_factory=list)
+    #: (frame_index, remaining-estimate) after each frame.
+    estimates: list[tuple[int, float]] = field(default_factory=list)
+
+    def record(self, event: SlotEvent) -> None:
+        self.events.append(event)
+
+    def record_estimate(self, frame_index: int, remaining: float) -> None:
+        self.estimates.append((frame_index, remaining))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def slots_of_kind(self, kind: SlotKind) -> list[SlotEvent]:
+        return [event for event in self.events if event.kind is kind]
+
+    def learned_order(self) -> list[int]:
+        """Every learned ID in the order the reader acquired them."""
+        order: list[int] = []
+        for event in self.events:
+            order.extend(event.learned)
+        return order
+
+    def summary(self) -> str:
+        kinds = {kind: len(self.slots_of_kind(kind)) for kind in SlotKind}
+        return (f"trace: {len(self.events)} slots "
+                f"({kinds[SlotKind.EMPTY]} empty / "
+                f"{kinds[SlotKind.SINGLETON]} singleton / "
+                f"{kinds[SlotKind.COLLISION]} collision), "
+                f"{len(self.learned_order())} IDs learned")

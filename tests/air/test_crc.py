@@ -1,0 +1,89 @@
+"""CRC-16/CCITT-FALSE: known vectors, systematic-check property, error
+detection guarantees."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.air.crc import (
+    CRC_BITS,
+    append_crc_bits,
+    crc16,
+    crc16_bits,
+    crc16_bytes_many,
+    verify_crc_bits,
+)
+
+
+class TestKnownVectors:
+    def test_check_string(self):
+        # The canonical CRC-16/CCITT-FALSE check value for "123456789".
+        assert crc16(b"123456789") == 0x29B1
+
+    def test_empty_input_is_init(self):
+        assert crc16(b"") == 0xFFFF
+
+    def test_single_zero_byte(self):
+        # Computed independently: one 0x00 byte from init 0xFFFF.
+        assert crc16(b"\x00") == crc16_bits([0] * 8)
+
+    def test_bitwise_matches_bytewise(self, rng):
+        data = bytes(rng.integers(0, 256, size=17, dtype=np.uint8))
+        bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+        assert crc16_bits(bits) == crc16(data)
+
+
+class TestBitArrays:
+    def test_append_then_verify(self, rng):
+        payload = rng.integers(0, 2, size=80).astype(np.uint8)
+        frame = append_crc_bits(payload)
+        assert frame.size == 80 + CRC_BITS
+        assert verify_crc_bits(frame)
+
+    def test_verify_rejects_short_frames(self):
+        assert not verify_crc_bits(np.zeros(CRC_BITS, dtype=np.uint8))
+        assert not verify_crc_bits(np.zeros(3, dtype=np.uint8))
+
+    def test_rejects_non_binary_values(self):
+        with pytest.raises(ValueError):
+            crc16_bits([0, 1, 2])
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=120),
+           st.integers(0, 135))
+    @settings(max_examples=60, deadline=None)
+    def test_single_bit_flip_always_detected(self, payload, flip_at):
+        """CRC-16 detects every single-bit error -- a hard guarantee."""
+        frame = append_crc_bits(payload)
+        flip_at %= frame.size
+        corrupted = frame.copy()
+        corrupted[flip_at] ^= 1
+        assert verify_crc_bits(frame)
+        assert not verify_crc_bits(corrupted)
+
+    @given(st.lists(st.integers(0, 1), min_size=8, max_size=96))
+    @settings(max_examples=40, deadline=None)
+    def test_burst_errors_up_to_16_bits_detected(self, payload):
+        """Bursts no longer than the CRC width are always caught."""
+        frame = append_crc_bits(payload)
+        burst_start = len(payload) // 2
+        corrupted = frame.copy()
+        corrupted[burst_start:burst_start + CRC_BITS] ^= 1
+        assert not verify_crc_bits(corrupted)
+
+
+class TestVectorized:
+    def test_matches_scalar_path(self, rng):
+        rows = rng.integers(0, 256, size=(64, 10), dtype=np.uint8)
+        fast = crc16_bytes_many(rows)
+        slow = np.array([crc16(row.tobytes()) for row in rows])
+        assert np.array_equal(fast, slow)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            crc16_bytes_many(np.zeros(10, dtype=np.uint8))
+
+    def test_handles_empty_batch(self):
+        assert crc16_bytes_many(np.zeros((0, 10), dtype=np.uint8)).size == 0

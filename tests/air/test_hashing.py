@@ -1,0 +1,93 @@
+"""The report-decision hash H(ID|i): determinism, range, uniformity, and the
+threshold semantics the collision-resolution cascade relies on."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.air.hashing import (
+    DEFAULT_HASH_BITS,
+    report_threshold,
+    slot_hash,
+    tag_transmits,
+)
+
+tag_ids = st.integers(0, (1 << 96) - 1)
+slots = st.integers(0, 1 << 23)
+
+
+class TestSlotHash:
+    @given(tag_ids, slots)
+    @settings(max_examples=100, deadline=None)
+    def test_deterministic_and_in_range(self, tag, slot):
+        first = slot_hash(tag, slot)
+        assert first == slot_hash(tag, slot)
+        assert 0 <= first < (1 << DEFAULT_HASH_BITS)
+
+    @given(tag_ids, slots)
+    @settings(max_examples=50, deadline=None)
+    def test_slot_changes_hash_sometimes(self, tag, slot):
+        """Different slots must decorrelate (the whole point of H(ID|i))."""
+        values = {slot_hash(tag, slot + offset) for offset in range(16)}
+        assert len(values) > 8  # 16 identical draws would be astronomical
+
+    def test_bits_parameter_scales_range(self):
+        for bits in (1, 8, 16, 48, 64):
+            value = slot_hash(12345, 678, bits=bits)
+            assert 0 <= value < (1 << bits)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            slot_hash(1, 1, bits=0)
+        with pytest.raises(ValueError):
+            slot_hash(1, 1, bits=65)
+
+    def test_uniformity(self, rng):
+        """Chi-square over 16 buckets across random (tag, slot) pairs."""
+        buckets = np.zeros(16)
+        draws = 8000
+        for _ in range(draws):
+            tag = int(rng.integers(0, 1 << 62))
+            slot = int(rng.integers(0, 1 << 20))
+            buckets[slot_hash(tag, slot, bits=4)] += 1
+        expected = draws / 16
+        chi2 = ((buckets - expected) ** 2 / expected).sum()
+        assert chi2 < 50  # df=15; 50 is far beyond any sane quantile
+
+
+class TestThreshold:
+    def test_endpoints(self):
+        assert report_threshold(0.0) == 0
+        assert report_threshold(1.0) == (1 << DEFAULT_HASH_BITS)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            report_threshold(1.5)
+        with pytest.raises(ValueError):
+            report_threshold(-0.1)
+
+    @given(st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone(self, p1, p2):
+        lo, hi = sorted((p1, p2))
+        assert report_threshold(lo) <= report_threshold(hi)
+
+    def test_transmit_probability_matches_threshold(self, rng):
+        """Fraction of transmitting tags ~ advertised probability."""
+        p = 0.3
+        threshold = report_threshold(p)
+        tags = rng.integers(0, 1 << 62, size=4000)
+        fraction = np.mean([tag_transmits(int(t), 5, threshold)
+                            for t in tags])
+        assert abs(fraction - p) < 0.03
+
+    def test_transmit_deterministic_per_slot(self):
+        """The reader can replay the decision for a learned ID -- exactly
+        the membership test the resolution cascade performs."""
+        threshold = report_threshold(0.5)
+        for slot in range(50):
+            decision = tag_transmits(987654321, slot, threshold)
+            assert decision == tag_transmits(987654321, slot, threshold)

@@ -1,0 +1,70 @@
+"""The I-Code timing model: the paper's quoted durations and accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.air.timing import ICODE_TIMING, TimingModel
+
+
+class TestPaperConstants:
+    def test_bit_time(self):
+        # 53 kbit/s -> 18.87 us/bit (paper rounds to 18.88).
+        assert ICODE_TIMING.bit_time == pytest.approx(18.87e-6, rel=1e-3)
+
+    def test_id_transmission_time(self):
+        # 96 bits -> ~1812 us.
+        assert ICODE_TIMING.transmission_time(96) == pytest.approx(
+            1812e-6, rel=1e-2)
+
+    def test_ack_transmission_time(self):
+        # 20 bits -> ~378 us.
+        assert ICODE_TIMING.transmission_time(20) == pytest.approx(
+            378e-6, rel=2e-2)
+
+    def test_slot_duration_about_2_8_ms(self):
+        assert ICODE_TIMING.slot_duration == pytest.approx(2.794e-3, rel=1e-2)
+
+
+class TestAccounting:
+    def test_session_is_linear_in_slots(self):
+        one = ICODE_TIMING.session_seconds(slots=1)
+        thousand = ICODE_TIMING.session_seconds(slots=1000)
+        assert thousand == pytest.approx(1000 * one)
+
+    def test_advertisement_adds_on_top(self):
+        base = ICODE_TIMING.session_seconds(slots=10)
+        with_ads = ICODE_TIMING.session_seconds(slots=10, advertisements=3)
+        assert with_ads - base == pytest.approx(
+            3 * ICODE_TIMING.advertisement_duration)
+
+    def test_index_announcements_cheaper_than_id_announcements(self):
+        """The FCAT improvement of section V-A: 23-bit slot indices beat
+        96-bit IDs."""
+        by_index = ICODE_TIMING.session_seconds(slots=0,
+                                                index_announcements=100)
+        by_id = ICODE_TIMING.session_seconds(slots=0, id_announcements=100)
+        assert by_index < by_id
+        assert by_id / by_index == pytest.approx(96 / 23, rel=1e-6)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            ICODE_TIMING.session_seconds(slots=-1)
+        with pytest.raises(ValueError):
+            ICODE_TIMING.announcement_duration(-1, 23)
+
+
+class TestValidation:
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            TimingModel(bit_rate=0)
+        with pytest.raises(ValueError):
+            TimingModel(id_bits=0)
+        with pytest.raises(ValueError):
+            TimingModel(guard_time=-1e-6)
+
+    def test_with_returns_modified_copy(self):
+        faster = ICODE_TIMING.with_(bit_rate=106_000.0)
+        assert faster.bit_rate == 106_000.0
+        assert ICODE_TIMING.bit_rate == 53_000.0
+        assert faster.slot_duration < ICODE_TIMING.slot_duration

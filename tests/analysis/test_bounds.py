@@ -1,0 +1,49 @@
+"""Throughput bounds: values and orderings."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.air.timing import ICODE_TIMING
+from repro.analysis.bounds import (
+    aloha_throughput_bound,
+    fcat_gain_over_aloha,
+    fcat_throughput_bound,
+    tree_throughput_bound,
+)
+
+
+class TestValues:
+    def test_aloha_bound(self):
+        expected = 1 / (math.e * ICODE_TIMING.slot_duration)
+        assert aloha_throughput_bound() == pytest.approx(expected)
+        # At 2.794 ms per slot that is ~131.7 tags/s -- DFSA's Table I row.
+        assert aloha_throughput_bound() == pytest.approx(131.7, abs=1.5)
+
+    def test_tree_bound(self):
+        assert tree_throughput_bound() == pytest.approx(124.3, abs=1.5)
+
+    def test_fcat_bound_lambda2(self):
+        # Useful-slot probability at omega*=1.414 is ~0.587 -> ~210 tags/s.
+        assert fcat_throughput_bound(2) == pytest.approx(210, abs=4)
+
+
+class TestOrdering:
+    def test_bounds_rank_as_in_the_paper(self):
+        assert tree_throughput_bound() < aloha_throughput_bound()
+        assert aloha_throughput_bound() < fcat_throughput_bound(2)
+        assert fcat_throughput_bound(2) < fcat_throughput_bound(3)
+        assert fcat_throughput_bound(3) < fcat_throughput_bound(4)
+
+    def test_gain_headroom(self):
+        """Ideal FCAT-2 headroom over ALOHA is ~60%; measured gains of
+        51-56% (Table I) must fit under it."""
+        gain = fcat_gain_over_aloha(2) - 1.0
+        assert 0.55 < gain < 0.65
+
+    def test_diminishing_returns_in_lambda(self):
+        steps = [fcat_throughput_bound(lam + 1) - fcat_throughput_bound(lam)
+                 for lam in (2, 3, 4)]
+        assert steps[0] > steps[1] > steps[2] > 0

@@ -1,0 +1,116 @@
+"""Estimator bias/variance formulas against the paper's quoted numbers and
+against Monte-Carlo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.estimator_stats import (
+    collision_count_variance,
+    estimator_relative_bias,
+    estimator_relative_variance,
+    estimator_variance,
+    relative_bias_at_load,
+    relative_variance_at_load,
+)
+from repro.core.estimator import (
+    invert_collision_count,
+    invert_collision_count_exact,
+)
+from repro.core.optimal import optimal_omega
+
+
+class TestPaperNumbers:
+    @pytest.mark.parametrize("omega,expected", [(1.414, 0.0342),
+                                                (1.817, 0.0287),
+                                                (2.213, 0.0265)])
+    def test_appendix_variances(self, omega, expected):
+        """The appendix's closing line: V(N_hat/N) for f = 30."""
+        assert relative_variance_at_load(omega, 30) == pytest.approx(
+            expected, abs=0.0015)
+
+    @pytest.mark.parametrize("omega,expected", [(1.414, 0.0082),
+                                                (1.817, 0.011),
+                                                (2.213, 0.014)])
+    def test_fig3_biases(self, omega, expected):
+        """Fig. 3's quoted |bias| values (nearly flat in N)."""
+        bias = np.abs(relative_bias_at_load(omega, 20000.0, 30))
+        assert float(bias) == pytest.approx(expected, abs=0.0015)
+
+    def test_bias_is_positive(self):
+        """The log inversion's Jensen curvature overestimates."""
+        assert float(relative_bias_at_load(1.414, 10000.0, 30)) > 0
+
+
+class TestMonteCarlo:
+    def test_collision_count_variance(self, rng):
+        n, f = 10000, 30
+        p = 1.414 / n
+        counts = rng.binomial(n, p, size=(6000, f))
+        empirical = float((counts >= 2).sum(axis=1).var())
+        predicted = float(collision_count_variance(n, p, f))
+        assert empirical == pytest.approx(predicted, rel=0.10)
+
+    def test_estimator_variance_of_exact_inversion(self, rng):
+        """Eq. 24 is the delta-method variance of inverting Eq. 21 (the
+        Poisson-form expectation), i.e. of the *exact* inversion."""
+        n, f = 10000, 30
+        omega = optimal_omega(2)
+        p = omega / n
+        estimates = []
+        for _ in range(3000):
+            counts = rng.binomial(n, p, size=f)
+            n_c = int((counts >= 2).sum())
+            if n_c < f:
+                estimates.append(invert_collision_count_exact(n_c, f, p))
+        empirical = float(np.var(estimates))
+        predicted = float(estimator_variance(n, p, f))
+        assert empirical == pytest.approx(predicted, rel=0.2)
+
+    def test_paper_form_has_lower_variance(self, rng):
+        """A finding worth pinning: the Eq. 12 closed form reacts less to
+        n_c fluctuations (it holds omega fixed), so its empirical variance
+        sits well *below* the appendix's Eq. 24 -- a free robustness bonus
+        for the protocol."""
+        n, f = 10000, 30
+        omega = optimal_omega(2)
+        p = omega / n
+        paper_estimates, exact_estimates = [], []
+        for _ in range(2000):
+            counts = rng.binomial(n, p, size=f)
+            n_c = int((counts >= 2).sum())
+            if n_c < f:
+                paper_estimates.append(
+                    invert_collision_count(n_c, f, p, omega))
+                exact_estimates.append(
+                    invert_collision_count_exact(n_c, f, p))
+        assert np.var(paper_estimates) < 0.6 * np.var(exact_estimates)
+
+
+class TestConsistency:
+    def test_relative_variance_is_variance_over_n_squared(self):
+        n, p, f = 5000.0, 0.0003, 30
+        assert float(estimator_relative_variance(n, p, f)) == pytest.approx(
+            float(estimator_variance(n, p, f)) / n ** 2)
+
+    def test_relative_variance_independent_of_n_at_load(self):
+        f = 30
+        values = [float(estimator_relative_variance(n, 1.414 / n, f))
+                  for n in (2000.0, 10000.0, 40000.0)]
+        assert max(values) - min(values) < 0.002
+
+    def test_bias_shrinks_with_frame_size(self):
+        small = abs(float(relative_bias_at_load(1.414, 10000.0, 10)))
+        large = abs(float(relative_bias_at_load(1.414, 10000.0, 100)))
+        assert large < small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimator_relative_bias(-5, 0.01, 30)
+        with pytest.raises(ValueError):
+            estimator_relative_bias(100, 0.0, 30)
+        with pytest.raises(ValueError):
+            relative_variance_at_load(0.0, 30)
+        with pytest.raises(ValueError):
+            relative_bias_at_load(1.414, 1.0, 30)

@@ -1,0 +1,98 @@
+"""Link budget: BER theory vs the measured demodulator, and the SNR ->
+ChannelModel bridge."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.link_budget import (
+    channel_model_from_snr,
+    ebn0_from_sample_snr,
+    frame_error_rate,
+    msk_coherent_ber,
+    q_function,
+    simulated_ber,
+)
+
+
+class TestTheory:
+    def test_q_function_values(self):
+        assert float(q_function(0.0)) == pytest.approx(0.5)
+        assert float(q_function(1.64)) == pytest.approx(0.0505, abs=0.002)
+        assert float(q_function(6.0)) < 1e-8
+
+    def test_coherent_ber_benchmarks(self):
+        # Classic BPSK/MSK numbers: ~0.078 at 0 dB, ~4e-6 at 10 dB.
+        assert msk_coherent_ber(0.0) == pytest.approx(0.0786, abs=0.002)
+        assert msk_coherent_ber(10.0) < 1e-5
+
+    def test_ebn0_conversion(self):
+        assert ebn0_from_sample_snr(10.0, samples_per_bit=8) \
+            == pytest.approx(19.03, abs=0.01)
+        with pytest.raises(ValueError):
+            ebn0_from_sample_snr(10.0, samples_per_bit=0)
+
+    def test_frame_error_rate(self):
+        assert frame_error_rate(0.0) == 0.0
+        assert frame_error_rate(1.0) == 1.0
+        assert frame_error_rate(1e-3, 96) == pytest.approx(0.0916, abs=0.003)
+        with pytest.raises(ValueError):
+            frame_error_rate(-0.1)
+
+
+class TestMeasuredBer:
+    def test_monotone_in_snr(self, rng):
+        low = simulated_ber(-5.0, rng, n_bits=4000, samples_per_bit=4)
+        high = simulated_ber(8.0, rng, n_bits=4000, samples_per_bit=4)
+        assert high < low
+
+    def test_never_beats_the_coherent_bound(self, rng):
+        """Q(sqrt(2 Eb/N0)) is a *bound*: the sample-wise phase-difference
+        detector must sit above it (it pays heavily at low SNR -- summing
+        per-sample angles of noisy samples is far from matched filtering --
+        and converges to error-free operation by ~20 dB Eb/N0)."""
+        for snr_db in (-6.0, 0.0, 4.0):
+            measured = simulated_ber(snr_db, rng, n_bits=30_000,
+                                     samples_per_bit=4)
+            coherent = msk_coherent_ber(ebn0_from_sample_snr(snr_db, 4))
+            assert measured >= coherent * 0.8
+            assert measured <= 0.5
+
+    def test_high_snr_is_error_free(self, rng):
+        assert simulated_ber(15.0, rng, n_bits=20_000,
+                             samples_per_bit=4) == 0.0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            simulated_ber(0.0, rng, n_bits=0)
+
+
+class TestBridge:
+    def test_clean_link(self, rng):
+        channel = channel_model_from_snr(20.0, rng, ber_bits=5000,
+                                         resolve_trials=10)
+        assert channel.singleton_corrupt_prob < 0.02
+        assert channel.collision_unusable_prob < 0.2
+
+    def test_marginal_link(self, rng):
+        channel = channel_model_from_snr(2.0, rng, ber_bits=5000,
+                                         resolve_trials=10)
+        assert channel.collision_unusable_prob > 0.3
+
+    def test_protocols_run_on_measured_channel(self, rng):
+        """End-to-end: SNR -> measured ChannelModel -> protocol session."""
+        from repro.core.fcat import Fcat
+        from repro.sim.population import TagPopulation
+        channel = channel_model_from_snr(12.0, rng, ber_bits=4000,
+                                         resolve_trials=10)
+        population = TagPopulation.random(150, np.random.default_rng(5))
+        result = Fcat(lam=2).read_all(population, np.random.default_rng(6),
+                                      channel=channel)
+        assert result.complete
+
+    def test_ack_loss_passthrough(self, rng):
+        channel = channel_model_from_snr(20.0, rng, ber_bits=2000,
+                                         resolve_trials=5,
+                                         ack_loss_prob=0.25)
+        assert channel.ack_loss_prob == 0.25

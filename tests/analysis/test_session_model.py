@@ -1,0 +1,99 @@
+"""The mean-field session model against the paper's numbers and the
+simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.session_model import (
+    predict_session,
+    predicted_gain_over_aloha,
+    predicted_resolved_fraction,
+    slot_mix,
+)
+from repro.core.fcat import Fcat
+from repro.sim.population import TagPopulation
+
+
+class TestSlotMix:
+    def test_fractions_sum_to_one(self):
+        assert sum(slot_mix(1.414, 2)) == pytest.approx(1.0)
+        assert sum(slot_mix(2.213, 4)) == pytest.approx(1.0)
+
+    def test_lambda_two_values(self):
+        p_empty, p_single, p_useful, p_wasted = slot_mix(1.414, 2)
+        assert p_empty == pytest.approx(0.243, abs=0.002)
+        assert p_single == pytest.approx(0.344, abs=0.002)
+        assert p_useful == pytest.approx(0.243, abs=0.002)
+        assert p_wasted == pytest.approx(0.170, abs=0.003)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            slot_mix(0.0, 2)
+        with pytest.raises(ValueError):
+            slot_mix(1.0, 1)
+
+
+class TestPaperNumbers:
+    def test_resolved_fractions_match_table3(self):
+        """Table III: ~41% / ~59% / ~71% of IDs from collision slots."""
+        assert predicted_resolved_fraction(2) == pytest.approx(0.414,
+                                                               abs=0.01)
+        assert predicted_resolved_fraction(3) == pytest.approx(0.59,
+                                                               abs=0.02)
+        assert predicted_resolved_fraction(4) == pytest.approx(0.69,
+                                                               abs=0.02)
+
+    def test_table2_slot_counts(self):
+        """FCAT-2 at N = 10000: paper measures 4189/5861/7016 (17066)."""
+        prediction = predict_session(10000, lam=2)
+        assert prediction.total_slots == pytest.approx(17066, rel=0.02)
+        assert prediction.empty_slots == pytest.approx(4189, rel=0.03)
+        assert prediction.singleton_slots == pytest.approx(5861, rel=0.03)
+        assert prediction.collision_slots == pytest.approx(7016, rel=0.03)
+        assert prediction.resolved_ids == pytest.approx(4139, rel=0.03)
+
+    def test_throughput_matches_table1(self):
+        prediction = predict_session(10000, lam=2)
+        assert prediction.throughput == pytest.approx(201.3, rel=0.03)
+
+    def test_gain_over_aloha(self):
+        """Ideal slot-count gains bound the measured 51-71%."""
+        assert predicted_gain_over_aloha(2) == pytest.approx(0.60, abs=0.02)
+        assert predicted_gain_over_aloha(4) > predicted_gain_over_aloha(3) \
+            > predicted_gain_over_aloha(2)
+
+
+class TestAgainstSimulator:
+    @pytest.mark.parametrize("lam", [2, 3, 4])
+    def test_predictions_track_simulation(self, lam):
+        n = 3000
+        population = TagPopulation.random(n, np.random.default_rng(lam))
+        result = Fcat(lam=lam, initial_estimate=float(n)).read_all(
+            population, np.random.default_rng(7))
+        prediction = predict_session(n, lam=lam)
+        assert result.total_slots == pytest.approx(prediction.total_slots,
+                                                   rel=0.06)
+        assert result.resolved_from_collision == pytest.approx(
+            prediction.resolved_ids, rel=0.08)
+
+    def test_noise_discount(self):
+        """With half the records unusable, the model tracks the simulator."""
+        n = 3000
+        population = TagPopulation.random(n, np.random.default_rng(5))
+        from repro.sim.channel import ChannelModel
+        channel = ChannelModel(collision_unusable_prob=0.5)
+        result = Fcat(lam=2, initial_estimate=float(n)).read_all(
+            population, np.random.default_rng(7), channel=channel)
+        prediction = predict_session(n, lam=2, resolvable_fraction=0.5)
+        assert result.total_slots == pytest.approx(prediction.total_slots,
+                                                   rel=0.12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            predict_session(-1)
+        with pytest.raises(ValueError):
+            predict_session(10, resolvable_fraction=1.5)
+        with pytest.raises(ValueError):
+            predict_session(10, frame_size=0)

@@ -1,0 +1,81 @@
+"""Slot-count expectations (Eq. 7/9/10) against Monte-Carlo and each other."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.slot_distribution import (
+    expected_collision_slots,
+    expected_empty_slots,
+    expected_singleton_slots,
+    singleton_peak,
+    slot_expectations,
+)
+
+
+class TestClosedForms:
+    def test_expectations_sum_to_frame(self):
+        n, p, f = 5000, 1.414 / 10000, 30
+        total = (expected_empty_slots(n, p, f)
+                 + expected_singleton_slots(n, p, f)
+                 + expected_collision_slots(n, p, f))
+        assert total == pytest.approx(f)
+
+    def test_monte_carlo_agreement(self, rng):
+        n, p, f = 8000, 1.414 / 10000, 30
+        counts = rng.binomial(n, p, size=(4000, f))
+        assert (counts == 0).sum(axis=1).mean() == pytest.approx(
+            float(expected_empty_slots(n, p, f)), rel=0.05)
+        assert (counts == 1).sum(axis=1).mean() == pytest.approx(
+            float(expected_singleton_slots(n, p, f)), rel=0.05)
+        assert (counts >= 2).sum(axis=1).mean() == pytest.approx(
+            float(expected_collision_slots(n, p, f)), rel=0.05)
+
+    def test_zero_population(self):
+        assert expected_empty_slots(0, 0.1, 30) == pytest.approx(30)
+        assert expected_singleton_slots(0, 0.1, 30) == pytest.approx(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_empty_slots(10, 1.5, 30)
+        with pytest.raises(ValueError):
+            expected_empty_slots(10, 0.1, 0)
+
+
+class TestFig4Shape:
+    def test_collision_expectation_monotone(self):
+        """E(nc) increases in N -- why it is the invertible statistic."""
+        p, f = 1.414 / 10000, 30
+        n_grid = np.linspace(100, 40000, 100)
+        collisions = np.asarray(expected_collision_slots(n_grid, p, f))
+        assert np.all(np.diff(collisions) > 0)
+
+    def test_empty_expectation_monotone_decreasing(self):
+        p, f = 1.414 / 10000, 30
+        n_grid = np.linspace(100, 40000, 100)
+        empties = np.asarray(expected_empty_slots(n_grid, p, f))
+        assert np.all(np.diff(empties) < 0)
+
+    def test_singleton_expectation_not_monotone(self):
+        """E(n1) rises then falls -- the Fig. 4 point."""
+        p, f = 1.414 / 10000, 30
+        n_grid = np.linspace(100, 40000, 200)
+        singles = np.asarray(expected_singleton_slots(n_grid, p, f))
+        peak_index = int(np.argmax(singles))
+        assert 0 < peak_index < len(n_grid) - 1
+
+    def test_singleton_peak_location(self):
+        p = 1.414 / 10000
+        peak = singleton_peak(p)
+        assert peak == pytest.approx(1 / p, rel=0.01)
+        f = 30
+        at_peak = float(expected_singleton_slots(peak, p, f))
+        assert at_peak >= float(expected_singleton_slots(peak * 1.2, p, f))
+        assert at_peak >= float(expected_singleton_slots(peak * 0.8, p, f))
+
+    def test_slot_expectations_bundle(self):
+        bundle = slot_expectations(np.array([1000.0, 2000.0]),
+                                   1.414 / 10000, 30)
+        assert bundle.empty.shape == (2,)
+        assert bundle.collision[1] > bundle.collision[0]

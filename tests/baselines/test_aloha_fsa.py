@@ -1,0 +1,69 @@
+"""Slotted ALOHA and basic framed slotted ALOHA."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.aloha import SlottedAloha
+from repro.baselines.fsa import FramedSlottedAloha
+from repro.sim.channel import ChannelModel
+from repro.sim.population import TagPopulation
+
+
+class TestSlottedAloha:
+    def test_reads_all(self, small_population):
+        result = SlottedAloha().read_all(small_population,
+                                         np.random.default_rng(1))
+        assert result.complete
+
+    @pytest.mark.parametrize("n", [0, 1, 2])
+    def test_tiny_populations(self, n):
+        population = TagPopulation.random(n, np.random.default_rng(n))
+        assert SlottedAloha().read_all(
+            population, np.random.default_rng(1)).complete
+
+    def test_slots_near_e_times_n(self, medium_population):
+        result = SlottedAloha().read_all(medium_population,
+                                         np.random.default_rng(1))
+        n = len(medium_population)
+        assert result.total_slots == pytest.approx(math.e * n, rel=0.10)
+
+    def test_error_injection(self, small_population):
+        channel = ChannelModel(singleton_corrupt_prob=0.1, ack_loss_prob=0.1)
+        assert SlottedAloha().read_all(
+            small_population, np.random.default_rng(1),
+            channel=channel).complete
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlottedAloha(max_report_probability=0.0)
+
+
+class TestFramedSlottedAloha:
+    def test_reads_all_when_frame_fits(self, small_population):
+        result = FramedSlottedAloha(frame_size=256).read_all(
+            small_population, np.random.default_rng(1))
+        assert result.complete
+
+    def test_oversubscribed_frame_hits_guard(self, medium_population):
+        """BFSA's known failure mode: a fixed small frame cannot serve a
+        large population (the EDFSA motivation)."""
+        protocol = FramedSlottedAloha(frame_size=16, max_frames=200)
+        with pytest.raises(RuntimeError):
+            protocol.read_all(medium_population, np.random.default_rng(1))
+
+    def test_matched_frame_is_efficient(self):
+        population = TagPopulation.random(256, np.random.default_rng(2))
+        result = FramedSlottedAloha(frame_size=256).read_all(
+            population, np.random.default_rng(1))
+        assert result.total_slots < 1.5 * math.e * 256
+
+    def test_name_carries_frame_size(self):
+        assert FramedSlottedAloha(128).name == "BFSA-128"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FramedSlottedAloha(frame_size=0)

@@ -1,0 +1,68 @@
+"""CRDSA: replica diversity plus successive interference cancellation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.crdsa import Crdsa
+from repro.baselines.dfsa import Dfsa
+from repro.sim.channel import ChannelModel
+from repro.sim.population import TagPopulation
+
+
+class TestCompleteness:
+    def test_reads_all(self, medium_population):
+        result = Crdsa().read_all(medium_population, np.random.default_rng(1))
+        assert result.complete
+
+    @pytest.mark.parametrize("n", [0, 1, 2, 5])
+    def test_tiny_populations(self, n):
+        population = TagPopulation.random(n, np.random.default_rng(n))
+        assert Crdsa().read_all(population,
+                                np.random.default_rng(1)).complete
+
+    def test_error_injection(self, small_population):
+        channel = ChannelModel(singleton_corrupt_prob=0.1, ack_loss_prob=0.1,
+                               collision_unusable_prob=0.2)
+        result = Crdsa().read_all(small_population, np.random.default_rng(1),
+                                  channel=channel)
+        assert result.complete
+
+
+class TestCancellationValue:
+    def test_beats_dfsa(self, medium_population):
+        """SIC mines collision slots, so CRDSA should clearly beat plain
+        dynamic framed ALOHA on the same workload."""
+        crdsa = Crdsa().read_all(medium_population, np.random.default_rng(1))
+        dfsa = Dfsa().read_all(medium_population, np.random.default_rng(1))
+        assert crdsa.throughput > dfsa.throughput * 1.2
+
+    def test_decodes_more_than_initial_singletons(self, medium_population):
+        """Some reads must come from cancellation-exposed replicas: the
+        session ends with more tags than initially-singleton slots in the
+        first frame alone would provide."""
+        result = Crdsa(target_load=0.65).read_all(
+            medium_population, np.random.default_rng(1))
+        # With 2 replicas at load 0.65, initial singleton fraction is well
+        # below the decode fraction per frame; a crude but robust check:
+        assert result.total_slots < 2.3 * len(medium_population)
+
+    def test_load_parameter_matters(self, medium_population):
+        gentle = Crdsa(target_load=0.3).read_all(medium_population,
+                                                 np.random.default_rng(1))
+        assert gentle.complete
+        assert gentle.total_slots > len(medium_population) * 2.5
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Crdsa(target_load=0.0)
+        with pytest.raises(ValueError):
+            Crdsa(target_load=1.5)
+
+    def test_reproducible(self, small_population):
+        a = Crdsa().read_all(small_population, np.random.default_rng(3))
+        b = Crdsa().read_all(small_population, np.random.default_rng(3))
+        assert a.total_slots == b.total_slots

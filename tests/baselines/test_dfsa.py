@@ -1,0 +1,74 @@
+"""DFSA: completeness, the e*N slot budget, Cha-Kim dynamics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.dfsa import CHA_KIM_COEFFICIENT, Dfsa
+from repro.sim.channel import ChannelModel
+from repro.sim.population import TagPopulation
+
+
+class TestCompleteness:
+    def test_reads_all(self, medium_population):
+        result = Dfsa().read_all(medium_population, np.random.default_rng(1))
+        assert result.complete
+
+    @pytest.mark.parametrize("n", [0, 1, 2, 10])
+    def test_tiny_populations(self, n):
+        population = TagPopulation.random(n, np.random.default_rng(n))
+        assert Dfsa().read_all(population,
+                               np.random.default_rng(2)).complete
+
+    def test_blind_start_completes(self, medium_population):
+        result = Dfsa(initial_frame_size=16).read_all(
+            medium_population, np.random.default_rng(1))
+        assert result.complete
+
+    def test_error_injection(self, small_population):
+        channel = ChannelModel(singleton_corrupt_prob=0.1, ack_loss_prob=0.1)
+        result = Dfsa().read_all(small_population, np.random.default_rng(1),
+                                 channel=channel)
+        assert result.complete
+
+
+class TestSlotBudget:
+    def test_total_slots_near_e_times_n(self, medium_population):
+        """The classic framed-ALOHA cost the paper's Table II shows."""
+        result = Dfsa().read_all(medium_population, np.random.default_rng(1))
+        n = len(medium_population)
+        assert result.total_slots == pytest.approx(math.e * n, rel=0.08)
+
+    def test_singletons_equal_population(self, medium_population):
+        result = Dfsa().read_all(medium_population, np.random.default_rng(1))
+        assert result.singleton_slots == len(medium_population)
+
+    def test_slot_mix_roughly_thirds(self, medium_population):
+        result = Dfsa().read_all(medium_population, np.random.default_rng(1))
+        # At load 1 the split is ~36.8/36.8/26.4.
+        assert result.empty_slots == pytest.approx(result.singleton_slots,
+                                                   rel=0.15)
+        assert result.collision_slots < result.singleton_slots
+
+    def test_blind_start_costs_more(self, medium_population):
+        oracle = Dfsa().read_all(medium_population, np.random.default_rng(1))
+        blind = Dfsa(initial_frame_size=8).read_all(
+            medium_population, np.random.default_rng(1))
+        assert blind.total_slots > oracle.total_slots
+
+
+class TestConfig:
+    def test_coefficient_is_cha_kim(self):
+        assert CHA_KIM_COEFFICIENT == pytest.approx(2.39)
+
+    def test_rejects_bad_frame_size(self):
+        with pytest.raises(ValueError):
+            Dfsa(initial_frame_size=0)
+
+    def test_max_frames_guard(self, medium_population):
+        with pytest.raises(RuntimeError):
+            Dfsa(initial_frame_size=1, max_frames=2).read_all(
+                medium_population, np.random.default_rng(1))

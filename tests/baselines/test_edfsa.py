@@ -1,0 +1,74 @@
+"""EDFSA: frame planning table, grouping, completeness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.edfsa import (
+    GROUPING_THRESHOLD,
+    MAX_FRAME_SIZE,
+    Edfsa,
+    frame_plan,
+)
+from repro.sim.channel import ChannelModel
+from repro.sim.population import TagPopulation
+
+
+class TestFramePlan:
+    @pytest.mark.parametrize("backlog,size", [(5, 8), (15, 16), (30, 32),
+                                              (60, 64), (150, 128),
+                                              (300, 256)])
+    def test_threshold_table(self, backlog, size):
+        frame_size, groups = frame_plan(backlog)
+        assert frame_size == size
+        assert groups == 1
+
+    def test_grouping_kicks_in_above_threshold(self):
+        frame_size, groups = frame_plan(GROUPING_THRESHOLD + 1)
+        assert frame_size == MAX_FRAME_SIZE
+        assert groups >= 2
+
+    def test_groups_scale_with_backlog(self):
+        _, few = frame_plan(1000)
+        _, many = frame_plan(10000)
+        assert many > few
+        assert many == pytest.approx(10000 / MAX_FRAME_SIZE, abs=1)
+
+    def test_zero_backlog(self):
+        frame_size, groups = frame_plan(0)
+        assert frame_size == 8 and groups == 1
+
+
+class TestProtocol:
+    def test_reads_all(self, medium_population):
+        result = Edfsa().read_all(medium_population, np.random.default_rng(1))
+        assert result.complete
+
+    @pytest.mark.parametrize("n", [0, 1, 3, 50])
+    def test_tiny_populations(self, n):
+        population = TagPopulation.random(n, np.random.default_rng(n))
+        assert Edfsa().read_all(population,
+                                np.random.default_rng(2)).complete
+
+    def test_never_advertises_frames_above_cap(self, medium_population):
+        """Indirect check: total slots per frame bounded by the cap."""
+        result = Edfsa().read_all(medium_population, np.random.default_rng(1))
+        assert result.total_slots <= result.frames * MAX_FRAME_SIZE
+
+    def test_costs_slightly_more_than_dfsa(self, medium_population):
+        from repro.baselines.dfsa import Dfsa
+        dfsa = Dfsa().read_all(medium_population, np.random.default_rng(1))
+        edfsa = Edfsa().read_all(medium_population, np.random.default_rng(1))
+        assert edfsa.total_slots >= dfsa.total_slots * 0.95
+        assert edfsa.total_slots <= dfsa.total_slots * 1.25
+
+    def test_error_injection(self, small_population):
+        channel = ChannelModel(singleton_corrupt_prob=0.1, ack_loss_prob=0.1)
+        result = Edfsa().read_all(small_population, np.random.default_rng(1),
+                                  channel=channel)
+        assert result.complete
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Edfsa(initial_estimate=0.0)

@@ -1,0 +1,81 @@
+"""The EPC Gen-2 Q algorithm baseline."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.gen2_q import Gen2Q
+from repro.sim.channel import ChannelModel
+from repro.sim.population import TagPopulation
+
+
+class TestCompleteness:
+    def test_reads_all(self, medium_population):
+        result = Gen2Q().read_all(medium_population, np.random.default_rng(1))
+        assert result.complete
+
+    @pytest.mark.parametrize("n", [0, 1, 2, 20])
+    def test_tiny_populations(self, n):
+        population = TagPopulation.random(n, np.random.default_rng(n))
+        assert Gen2Q().read_all(population,
+                                np.random.default_rng(2)).complete
+
+    def test_error_injection(self, small_population):
+        channel = ChannelModel(singleton_corrupt_prob=0.1, ack_loss_prob=0.1)
+        result = Gen2Q().read_all(small_population, np.random.default_rng(1),
+                                  channel=channel)
+        assert result.complete
+
+    def test_bad_initial_q_recovers(self, small_population):
+        """Starting at Q = 0 against 200 tags: the +C adjustments climb."""
+        result = Gen2Q(initial_q=0).read_all(small_population,
+                                             np.random.default_rng(1))
+        assert result.complete
+
+    def test_oversized_initial_q_recovers(self, small_population):
+        result = Gen2Q(initial_q=12).read_all(small_population,
+                                              np.random.default_rng(1))
+        assert result.complete
+
+
+class TestEfficiency:
+    def test_aloha_class_slot_economy(self, medium_population):
+        """Q tracking keeps the cost within the ALOHA family's regime --
+        worse than ideal e*N (Q only moves in steps of C) but same order."""
+        result = Gen2Q().read_all(medium_population, np.random.default_rng(1))
+        n = len(medium_population)
+        assert result.total_slots < 5.0 * n
+        assert result.total_slots > 2.0 * n
+
+    def test_fcat_beats_the_industrial_standard(self, medium_population):
+        from repro.core.fcat import Fcat
+        gen2 = Gen2Q().read_all(medium_population, np.random.default_rng(1))
+        fcat = Fcat(lam=2).read_all(medium_population,
+                                    np.random.default_rng(1))
+        assert fcat.throughput > 1.3 * gen2.throughput
+
+    def test_c_parameter_affects_adaptation(self, small_population):
+        slow = Gen2Q(initial_q=10, c=0.1).read_all(
+            small_population, np.random.default_rng(1))
+        fast = Gen2Q(initial_q=10, c=0.5).read_all(
+            small_population, np.random.default_rng(1))
+        # Starting oversized, a larger C walks Q down sooner.
+        assert fast.empty_slots < slow.empty_slots
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Gen2Q(initial_q=16)
+        with pytest.raises(ValueError):
+            Gen2Q(c=0.05)
+        with pytest.raises(ValueError):
+            Gen2Q(c=0.6)
+
+    def test_slot_budget_guard(self, small_population):
+        with pytest.raises(RuntimeError):
+            Gen2Q(max_slots=10).read_all(small_population,
+                                         np.random.default_rng(1))

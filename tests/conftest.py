@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.population import TagPopulation
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def small_population() -> TagPopulation:
+    """200 tags -- enough for full protocol sessions in milliseconds."""
+    return TagPopulation.random(200, np.random.default_rng(11))
+
+
+@pytest.fixture(scope="session")
+def medium_population() -> TagPopulation:
+    """2000 tags -- used where slot statistics need to be tight."""
+    return TagPopulation.random(2000, np.random.default_rng(12))

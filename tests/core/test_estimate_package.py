@@ -1,0 +1,153 @@
+"""Cardinality pre-estimation (Kodialam-Nandagopal, paper ref [24])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.estimate.kodialam import (
+    CardinalityEstimate,
+    ZE_OPTIMAL_LOAD,
+    collision_estimator,
+    estimate_tag_count,
+    probe_time_seconds,
+    ze_coefficient_of_variation,
+    zero_estimator,
+)
+from repro.estimate.probe import ProbeFrame, run_probe_frame
+
+
+class TestProbeFrame:
+    def test_counts_partition_frame(self, rng):
+        frame = run_probe_frame(500, 64, 1.0, rng)
+        assert frame.empty + frame.singleton + frame.collision == 64
+        assert frame.occupied == frame.singleton + frame.collision
+
+    def test_persistence_thins_responders(self, rng):
+        heavy = run_probe_frame(1000, 64, 1.0, rng)
+        light = run_probe_frame(1000, 64, 0.05, rng)
+        assert light.empty > heavy.empty
+
+    def test_empty_population(self, rng):
+        frame = run_probe_frame(0, 32, 1.0, rng)
+        assert frame.empty == 32
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            run_probe_frame(-1, 32, 1.0, rng)
+        with pytest.raises(ValueError):
+            run_probe_frame(5, 0, 1.0, rng)
+        with pytest.raises(ValueError):
+            run_probe_frame(5, 32, 0.0, rng)
+        with pytest.raises(ValueError):
+            ProbeFrame(frame_size=4, persistence=1.0, empty=1, singleton=1,
+                       collision=1)
+
+
+class TestClosedForms:
+    def test_zero_estimator_inverts_expectation(self):
+        n, size = 800.0, 512
+        expected_empty = size * (1 - 1 / size) ** n
+        frame = ProbeFrame(frame_size=size, persistence=1.0,
+                           empty=int(round(expected_empty)), singleton=0,
+                           collision=size - int(round(expected_empty)))
+        assert zero_estimator(frame) == pytest.approx(n, rel=0.05)
+
+    def test_zero_estimator_saturated(self):
+        frame = ProbeFrame(frame_size=8, persistence=1.0, empty=0,
+                           singleton=0, collision=8)
+        assert zero_estimator(frame) is None
+
+    def test_zero_estimator_silent(self):
+        frame = ProbeFrame(frame_size=8, persistence=1.0, empty=8,
+                           singleton=0, collision=0)
+        assert zero_estimator(frame) == 0.0
+
+    def test_collision_estimator_inverts_expectation(self):
+        n, size = 800.0, 512
+        load = n / size
+        expected_collisions = size * (1 - np.exp(-load) * (1 + load))
+        frame = ProbeFrame(frame_size=size, persistence=1.0,
+                           empty=size - int(round(expected_collisions)),
+                           singleton=0,
+                           collision=int(round(expected_collisions)))
+        assert collision_estimator(frame) == pytest.approx(n, rel=0.06)
+
+    def test_collision_estimator_no_collisions(self):
+        frame = ProbeFrame(frame_size=16, persistence=0.5, empty=10,
+                           singleton=6, collision=0)
+        assert collision_estimator(frame) == pytest.approx(12.0)
+
+    def test_cv_minimized_near_optimal_load(self):
+        loads = np.linspace(0.3, 4.0, 60)
+        cvs = [ze_coefficient_of_variation(float(t), 64) for t in loads]
+        best = float(loads[int(np.argmin(cvs))])
+        assert best == pytest.approx(ZE_OPTIMAL_LOAD, abs=0.15)
+
+
+class TestEstimationProcedure:
+    @pytest.mark.parametrize("n", [0, 50, 1000, 8000])
+    def test_accuracy(self, n, rng):
+        estimate = estimate_tag_count(n, rng, target_cv=0.05)
+        assert isinstance(estimate, CardinalityEstimate)
+        if n == 0:
+            assert estimate.estimate < 1
+        else:
+            assert estimate.estimate == pytest.approx(n, rel=0.2)
+
+    def test_statistical_accuracy(self):
+        """Across seeds the relative error should respect the target CV."""
+        errors = []
+        for seed in range(15):
+            rng = np.random.default_rng(seed)
+            estimate = estimate_tag_count(4000, rng, target_cv=0.05)
+            errors.append(abs(estimate.estimate - 4000) / 4000)
+        assert float(np.mean(errors)) < 0.08
+
+    def test_tighter_cv_costs_more_probing(self, rng):
+        loose = estimate_tag_count(5000, np.random.default_rng(1),
+                                   target_cv=0.2)
+        tight = estimate_tag_count(5000, np.random.default_rng(1),
+                                   target_cv=0.02)
+        assert tight.total_probe_slots > loose.total_probe_slots
+
+    def test_collision_estimator_variant(self, rng):
+        estimate = estimate_tag_count(3000, rng, target_cv=0.1,
+                                      estimator="collision")
+        assert estimate.estimate == pytest.approx(3000, rel=0.25)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            estimate_tag_count(10, rng, target_cv=0.0)
+        with pytest.raises(ValueError):
+            estimate_tag_count(10, rng, estimator="psychic")
+
+    def test_probe_time(self):
+        assert probe_time_seconds(0, 0) == 0.0
+        assert probe_time_seconds(100, 5) > 0
+        with pytest.raises(ValueError):
+            probe_time_seconds(-1, 0)
+
+
+class TestScatIntegration:
+    def test_scat_with_pre_step_completes(self, small_population):
+        from repro.core.scat import Scat
+        result = Scat(lam=2, pre_estimate_cv=0.1).read_all(
+            small_population, np.random.default_rng(5))
+        assert result.complete
+        assert result.presession_s > 0
+        assert "pre_estimate" in result.extra
+
+    def test_pre_step_costs_throughput(self, medium_population):
+        from repro.core.scat import Scat
+        oracle = Scat(lam=2).read_all(medium_population,
+                                      np.random.default_rng(5))
+        blind = Scat(lam=2, pre_estimate_cv=0.05).read_all(
+            medium_population, np.random.default_rng(5))
+        assert blind.complete
+        assert blind.throughput < oracle.throughput
+
+    def test_config_validation(self):
+        from repro.core.scat import Scat
+        with pytest.raises(ValueError):
+            Scat(pre_estimate_cv=0.0)

@@ -1,0 +1,120 @@
+"""Optimal load omega* = (lambda!)^(1/lambda) and the report probability."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.optimal import (
+    expected_slots_per_tag,
+    np_vectorized_useful_probability,
+    optimal_omega,
+    optimal_omega_exact,
+    optimal_report_probability,
+    slot_type_probabilities,
+    useful_slot_probability,
+    useful_slot_probability_binomial,
+)
+
+
+class TestPaperConstants:
+    @pytest.mark.parametrize("lam,expected", [(2, 1.414), (3, 1.817),
+                                              (4, 2.213)])
+    def test_section_iv_c_values(self, lam, expected):
+        assert optimal_omega(lam) == pytest.approx(expected, abs=5e-4)
+
+    def test_lambda_one_reduces_to_aloha(self):
+        """Without ANC the optimum is load 1 -- the classic 1/e point."""
+        assert optimal_omega(1) == pytest.approx(1.0)
+        assert useful_slot_probability(1.0, 1) == pytest.approx(1 / math.e)
+
+    def test_rejects_bad_lambda(self):
+        with pytest.raises(ValueError):
+            optimal_omega(0)
+
+
+class TestUsefulProbability:
+    @given(st.floats(0.01, 6.0), st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_is_a_probability(self, omega, lam):
+        value = useful_slot_probability(omega, lam)
+        assert 0.0 <= value <= 1.0
+
+    @given(st.floats(0.05, 4.0), st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_lambda(self, omega, lam):
+        assert useful_slot_probability(omega, lam + 1) >= \
+            useful_slot_probability(omega, lam)
+
+    @given(st.floats(0.05, 3.5), st.integers(2, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_optimum_is_a_maximum(self, omega, lam):
+        best = optimal_omega(lam)
+        assert useful_slot_probability(best, lam) >= \
+            useful_slot_probability(omega, lam) - 1e-12
+
+    def test_binomial_converges_to_poisson(self):
+        for lam in (2, 3):
+            omega = optimal_omega(lam)
+            poisson = useful_slot_probability(omega, lam)
+            binomial = useful_slot_probability_binomial(omega / 5000, 5000,
+                                                        lam)
+            assert binomial == pytest.approx(poisson, rel=1e-3)
+
+    def test_vectorized_matches_scalar(self):
+        omegas = np.linspace(0.1, 3.0, 17)
+        vectorized = np_vectorized_useful_probability(omegas, 3)
+        scalar = [useful_slot_probability(float(w), 3) for w in omegas]
+        assert np.allclose(vectorized, scalar)
+
+
+class TestExactOptimum:
+    @pytest.mark.parametrize("lam", [2, 3, 4])
+    def test_matches_closed_form_for_large_n(self, lam):
+        assert optimal_omega_exact(lam, 10_000) == pytest.approx(
+            optimal_omega(lam), abs=0.01)
+
+    def test_small_n_still_sane(self):
+        load = optimal_omega_exact(2, 10)
+        assert 0.5 < load < 3.0
+
+
+class TestReportProbability:
+    def test_scaling(self):
+        assert optimal_report_probability(2, 1000) == pytest.approx(
+            1.414 / 1000, rel=1e-3)
+
+    def test_cap_applies(self):
+        assert optimal_report_probability(2, 2, cap=0.5) == 0.5
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            optimal_report_probability(2, 0)
+        with pytest.raises(ValueError):
+            optimal_report_probability(2, 10, cap=0.0)
+
+
+class TestSlotProbabilities:
+    def test_sum_to_one(self):
+        empty, single, collision = slot_type_probabilities(1.414)
+        assert empty + single + collision == pytest.approx(1.0)
+
+    def test_paper_fractions_at_load_one(self):
+        """Section II-A: 36.8% empty, 36.8% singleton, 26.4% collision."""
+        empty, single, collision = slot_type_probabilities(1.0)
+        assert empty == pytest.approx(0.368, abs=1e-3)
+        assert single == pytest.approx(0.368, abs=1e-3)
+        assert collision == pytest.approx(0.264, abs=1e-3)
+
+    def test_expected_slots_per_tag(self):
+        at_optimum = expected_slots_per_tag(optimal_omega(2), 2)
+        assert at_optimum == pytest.approx(1 / 0.587, rel=0.01)
+        assert expected_slots_per_tag(1.414, 2,
+                                      resolvable_fraction=0.0) > at_optimum
+
+    def test_useless_configuration_is_infinite(self):
+        assert expected_slots_per_tag(0.0, 2) == float("inf")

@@ -1,0 +1,123 @@
+"""SCAT: the per-slot-advertised precursor of FCAT."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fcat import Fcat
+from repro.core.scat import Scat, ScatConfig
+from repro.sim.channel import ChannelModel
+from repro.sim.population import TagPopulation
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("lam", [2, 3])
+    def test_reads_every_tag(self, small_population, lam):
+        result = Scat(lam=lam).read_all(small_population,
+                                        np.random.default_rng(5))
+        assert result.complete
+
+    @pytest.mark.parametrize("n", [0, 1, 2, 5])
+    def test_tiny_populations(self, n):
+        population = TagPopulation.random(n, np.random.default_rng(n + 3))
+        assert Scat().read_all(population,
+                               np.random.default_rng(8)).complete
+
+    def test_error_injection(self, small_population):
+        channel = ChannelModel(singleton_corrupt_prob=0.1, ack_loss_prob=0.1,
+                               collision_unusable_prob=0.2)
+        result = Scat().read_all(small_population, np.random.default_rng(4),
+                                 channel=channel)
+        assert result.complete
+
+
+class TestOverheadProfile:
+    def test_advertises_every_slot(self, small_population):
+        result = Scat().read_all(small_population, np.random.default_rng(5))
+        assert result.advertisements == result.total_slots
+
+    def test_announces_full_ids(self, medium_population):
+        result = Scat().read_all(medium_population, np.random.default_rng(5))
+        assert result.id_announcements == result.resolved_from_collision
+        assert result.index_announcements == 0
+
+    def test_fcat_beats_scat_on_throughput(self, medium_population):
+        """Section V-A's motivation: the framed variant strips SCAT's
+        per-slot advertisements and 96-bit announcements."""
+        scat = Scat(lam=2).read_all(medium_population,
+                                    np.random.default_rng(5))
+        fcat = Fcat(lam=2).read_all(medium_population,
+                                    np.random.default_rng(5))
+        assert fcat.throughput > scat.throughput * 1.2
+
+    def test_similar_slot_counts_to_fcat(self, medium_population):
+        """The protocols differ in overhead, not in slot efficiency."""
+        scat = Scat(lam=2).read_all(medium_population,
+                                    np.random.default_rng(5))
+        fcat = Fcat(lam=2).read_all(medium_population,
+                                    np.random.default_rng(5))
+        assert scat.total_slots == pytest.approx(fcat.total_slots, rel=0.15)
+
+    def test_oracle_keeps_load_tight(self, medium_population):
+        """SCAT knows N exactly, so its slot mix is close to Poisson(omega)."""
+        result = Scat(lam=2).read_all(medium_population,
+                                      np.random.default_rng(5))
+        empty_fraction = result.empty_slots / result.total_slots
+        assert 0.19 < empty_fraction < 0.30  # e^-1.414 = 0.243
+
+
+class TestUnderCountRecovery:
+    def test_severe_undercount_recovers(self, monkeypatch):
+        """If the pre-step reports half the true population, the reader soon
+        believes nobody is left while hundreds jam the channel.  The
+        collision-streak correction must dig it out of that livelock."""
+        from repro.core import scat as scat_module
+        from repro.estimate.kodialam import CardinalityEstimate
+
+        def undercount(n_tags, rng, target_cv=0.05, **kwargs):
+            return CardinalityEstimate(
+                estimate=n_tags / 2.0, frames_used=3, total_probe_slots=96,
+                achieved_cv=target_cv, per_frame_estimates=(n_tags / 2.0,))
+
+        monkeypatch.setattr(scat_module, "estimate_tag_count", undercount)
+        population = TagPopulation.random(600, np.random.default_rng(51))
+        result = Scat(lam=2, pre_estimate_cv=0.05).read_all(
+            population, np.random.default_rng(52))
+        assert result.complete
+
+    def test_overcount_just_wastes_empties(self, monkeypatch):
+        from repro.core import scat as scat_module
+        from repro.estimate.kodialam import CardinalityEstimate
+
+        def overcount(n_tags, rng, target_cv=0.05, **kwargs):
+            return CardinalityEstimate(
+                estimate=n_tags * 2.0, frames_used=3, total_probe_slots=96,
+                achieved_cv=target_cv, per_frame_estimates=(n_tags * 2.0,))
+
+        monkeypatch.setattr(scat_module, "estimate_tag_count", overcount)
+        population = TagPopulation.random(600, np.random.default_rng(51))
+        result = Scat(lam=2, pre_estimate_cv=0.05).read_all(
+            population, np.random.default_rng(52))
+        assert result.complete
+        # Running at half the optimal load inflates empties, nothing worse.
+        assert result.empty_slots > result.singleton_slots
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Scat(lam=1)
+        with pytest.raises(ValueError):
+            Scat(omega=-1.0)
+        with pytest.raises(ValueError):
+            Scat(empty_streak_for_probe=0)
+        with pytest.raises(ValueError):
+            Scat(max_report_probability=1.5)
+
+    def test_default_omega(self):
+        assert ScatConfig(lam=4).effective_omega == pytest.approx(2.213,
+                                                                  abs=1e-3)
+
+    def test_name(self):
+        assert Scat(lam=4).name == "SCAT-4"

@@ -1,0 +1,68 @@
+"""Ablation experiments at reduced scale."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    AblationNoiseConfig,
+    AblationSnrConfig,
+    CrdsaComparisonConfig,
+    resolvability_rate,
+    run_ablation_noise,
+    run_ablation_snr,
+    run_crdsa_comparison,
+)
+
+
+class TestSnrAblation:
+    def test_resolvable_at_high_snr_not_at_low(self, rng):
+        high = resolvability_rate(2, 30.0, trials=10, samples_per_bit=4,
+                                  rng=rng)
+        low = resolvability_rate(2, -10.0, trials=10, samples_per_bit=4,
+                                 rng=rng)
+        assert high >= 0.9
+        assert low <= 0.2
+
+    def test_coherent_mode(self, rng):
+        rate = resolvability_rate(3, 25.0, trials=8, samples_per_bit=4,
+                                  rng=rng, mode="coherent")
+        assert rate >= 0.8
+
+    def test_rejects_unknown_mode(self, rng):
+        with pytest.raises(ValueError):
+            resolvability_rate(2, 10.0, 1, 4, rng, mode="psychic")
+
+    def test_runner_produces_monotone_ish_curves(self):
+        config = AblationSnrConfig(ks=(2,), snr_db_values=[0.0, 15.0, 30.0],
+                                   trials=10)
+        result = run_ablation_snr(config)
+        curve = result.curves[2]
+        assert curve[0] <= curve[-1]
+        assert "A1" in result.chart.render()
+
+
+class TestNoiseAblation:
+    def test_throughput_degrades_with_loss(self):
+        config = AblationNoiseConfig(loss_probabilities=[0.0, 1.0],
+                                     n_tags=800, runs=1)
+        result = run_ablation_noise(config)
+        assert result.throughputs[0] > result.throughputs[-1]
+
+    def test_zero_loss_beats_dfsa(self):
+        config = AblationNoiseConfig(loss_probabilities=[0.0], n_tags=800,
+                                     runs=1)
+        result = run_ablation_noise(config)
+        assert result.throughputs[0] > result.dfsa_throughput
+
+
+class TestCrdsaComparison:
+    def test_ordering(self):
+        config = CrdsaComparisonConfig(n_values=(800,), runs=1)
+        result = run_crdsa_comparison(config)
+        fcat = result.cells[("FCAT-2", 800)].throughput_mean
+        crdsa = result.cells[("CRDSA", 800)].throughput_mean
+        dfsa = result.cells[("DFSA", 800)].throughput_mean
+        assert crdsa > dfsa
+        assert fcat > dfsa

@@ -1,0 +1,42 @@
+"""The command-line driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_accepts_known_experiments(self):
+        args = build_parser().parse_args(["table2", "--runs", "3"])
+        assert args.experiments == ["table2"]
+        assert args.runs == 3
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+    def test_all_registered_experiments_are_callable(self):
+        assert set(EXPERIMENTS) >= {"table1", "table2", "table3", "table4",
+                                    "fig3", "fig4", "fig5", "fig6",
+                                    "ablation-snr", "ablation-noise",
+                                    "ablation-crdsa", "ablation-capture",
+                                    "ablation-prestep", "ablation-churn",
+                                    "ablation-energy"}
+
+
+class TestMain:
+    def test_fig3_runs_and_prints(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out
+
+    def test_output_files_written(self, tmp_path, capsys):
+        assert main(["fig3", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "fig3.md").exists()
+
+    def test_duplicates_collapse(self, capsys):
+        assert main(["fig3", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Fig. 3 --") == 1

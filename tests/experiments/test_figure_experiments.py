@@ -1,0 +1,73 @@
+"""Figure experiments at reduced scale: curve shapes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig3 import Fig3Config, run_fig3
+from repro.experiments.fig4 import Fig4Config, run_fig4
+from repro.experiments.fig5 import Fig5Config, run_fig5
+from repro.experiments.fig6 import Fig6Config, run_fig6
+
+
+class TestFig3:
+    def test_analytic_curves_match_paper(self):
+        result = run_fig3(Fig3Config())
+        # Larger omega -> larger bias magnitude, values per Fig. 3.
+        assert float(result.analytic[2].mean()) == pytest.approx(0.0082,
+                                                                 abs=0.001)
+        assert float(result.analytic[4].mean()) == pytest.approx(0.014,
+                                                                 abs=0.002)
+
+    def test_empirical_bias_confirms_analytic(self):
+        config = Fig3Config(lams=(2,), simulate=True, simulate_frames=3000,
+                            n_max=20000)
+        result = run_fig3(config)
+        assert result.empirical[2] == pytest.approx(0.0082, abs=0.004)
+
+    def test_chart_renders(self):
+        assert "Fig. 3" in run_fig3(Fig3Config()).chart.render()
+
+
+class TestFig4:
+    def test_monte_carlo_matches_closed_forms(self):
+        result = run_fig4(Fig4Config(simulate=True, simulate_frames=1500))
+        assert result.empirical is not None
+        from repro.analysis.slot_distribution import slot_expectations
+        p = result.config.omega / result.config.reference_n
+        expected = slot_expectations(np.array([result.config.n_max],
+                                              dtype=float), p,
+                                     result.config.frame_size)
+        assert result.empirical[0] == pytest.approx(float(expected.empty[0]),
+                                                    rel=0.3, abs=0.3)
+        assert result.empirical[2] == pytest.approx(
+            float(expected.collision[0]), rel=0.05)
+
+    def test_singleton_peak_within_range(self):
+        result = run_fig4(Fig4Config())
+        assert result.config.n_min < result.singleton_peak_n \
+            < result.config.n_max
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        grid = [0.5, 0.9, 1.4, 2.0, 2.6]
+        return run_fig5(Fig5Config(lams=(2,), omega_grid=grid, n_tags=1500,
+                                   runs=1))
+
+    def test_curve_is_unimodal_with_interior_peak(self, result):
+        curve = result.curves[2]
+        peak = int(np.argmax(curve))
+        assert 0 < peak < len(curve) - 1
+
+    def test_peak_near_computed_omega(self, result):
+        assert result.peak_omega(2) == pytest.approx(1.414, abs=0.6)
+
+
+class TestFig6:
+    def test_plateau_beyond_f_10(self):
+        result = run_fig6(Fig6Config(lams=(2,), n_tags=1500, runs=1,
+                                     frame_sizes=[5, 10, 30, 80, 150]))
+        assert result.plateau_spread(2, from_size=10) < 0.10

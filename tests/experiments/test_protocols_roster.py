@@ -1,0 +1,33 @@
+"""The experiment rosters and their paper configuration."""
+
+from __future__ import annotations
+
+from repro.experiments.protocols import (
+    PAPER_FRAME_SIZE,
+    baseline_roster,
+    fcat_variants,
+    table1_roster,
+)
+
+
+class TestRosters:
+    def test_paper_frame_size(self):
+        assert PAPER_FRAME_SIZE == 30
+
+    def test_fcat_variants_cover_lambdas(self):
+        names = [protocol.name for protocol in fcat_variants()]
+        assert names == ["FCAT-2", "FCAT-3", "FCAT-4"]
+        for protocol in fcat_variants():
+            assert protocol.config.frame_size == PAPER_FRAME_SIZE
+
+    def test_baselines_are_the_paper_four(self):
+        names = [protocol.name for protocol in baseline_roster()]
+        assert names == ["DFSA", "EDFSA", "ABS", "AQS"]
+
+    def test_table1_roster_order(self):
+        names = [protocol.name for protocol in table1_roster()]
+        assert names == ["FCAT-2", "FCAT-3", "FCAT-4",
+                         "DFSA", "EDFSA", "ABS", "AQS"]
+
+    def test_rosters_return_fresh_instances(self):
+        assert table1_roster()[0] is not table1_roster()[0]

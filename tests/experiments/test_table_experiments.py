@@ -1,0 +1,85 @@
+"""Table experiments at reduced scale: structure and headline shapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table1 import Table1Config, run_table1
+from repro.experiments.table2 import Table2Config, run_table2
+from repro.experiments.table3 import Table3Config, run_table3
+from repro.experiments.table4 import Table4Config, run_table4
+
+
+@pytest.fixture(scope="module")
+def table1_result():
+    return run_table1(Table1Config(n_values=[500, 1500], runs=2))
+
+
+class TestTable1:
+    def test_all_cells_present(self, table1_result):
+        assert len(table1_result.cells) == 2 * 7
+
+    def test_fcat_beats_every_baseline(self, table1_result):
+        for n in table1_result.config.n_values:
+            fcat = table1_result.throughput("FCAT-2", n)
+            for baseline in ("DFSA", "EDFSA", "ABS", "AQS"):
+                assert fcat > table1_result.throughput(baseline, n)
+
+    def test_gain_in_paper_ballpark(self, table1_result):
+        gains = table1_result.gain_over("DFSA")
+        assert all(0.30 < gain < 0.80 for gain in gains)
+
+    def test_lambda_ordering(self, table1_result):
+        for n in table1_result.config.n_values:
+            assert (table1_result.throughput("FCAT-4", n)
+                    > table1_result.throughput("FCAT-3", n)
+                    > table1_result.throughput("FCAT-2", n))
+
+    def test_markdown_renders(self, table1_result):
+        text = table1_result.table.render()
+        assert "FCAT-2" in text and "AQS" in text
+
+    def test_paper_scale_config(self):
+        config = Table1Config.paper_scale(runs=100)
+        assert config.n_values[0] == 1000
+        assert config.n_values[-1] == 20000
+        assert len(config.n_values) == 20
+
+
+class TestTable2:
+    def test_slot_shapes(self):
+        result = run_table2(Table2Config(n_tags=1200, runs=2))
+        fcat_empty, fcat_single, fcat_collision = result.slots("FCAT-2")
+        dfsa_empty, dfsa_single, _ = result.slots("DFSA")
+        # ALOHA baselines need one singleton per tag; FCAT far fewer.
+        assert dfsa_single == 1200
+        assert fcat_single < 0.75 * 1200
+        # FCAT wastes fewer empties than DFSA.
+        assert fcat_empty < dfsa_empty
+        # Tree protocols: collisions ~ 1.44 N.
+        _, abs_single, abs_collision = result.slots("ABS")
+        assert abs_single == 1200
+        assert abs_collision == pytest.approx(1.44 * 1200, rel=0.12)
+
+
+class TestTable3:
+    def test_resolved_fractions(self):
+        result = run_table3(Table3Config(n_values=[1000], runs=2))
+        assert 0.30 < result.resolved_fraction(2, 1000) < 0.50
+        assert 0.50 < result.resolved_fraction(3, 1000) < 0.68
+        assert 0.60 < result.resolved_fraction(4, 1000) < 0.80
+
+    def test_resolved_counts_scale_with_n(self):
+        result = run_table3(Table3Config(n_values=[500, 1500], runs=2))
+        assert result.resolved(2, 1500) > 2 * result.resolved(2, 500)
+
+
+class TestTable4:
+    def test_search_matches_computed(self):
+        config = Table4Config(lams=(2,), n_tags=2000, runs=1,
+                              omega_grid=[0.8, 1.1, 1.4, 1.7, 2.0, 2.4])
+        result = run_table4(config)
+        search = result.searches[2]
+        assert search.best_omega == pytest.approx(1.4, abs=0.35)
+        assert search.computed_throughput == pytest.approx(
+            search.best_throughput, rel=0.06)

@@ -1,0 +1,135 @@
+"""Dynamic populations and the continuous FCAT monitor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.air.ids import verify_tag_id
+from repro.dynamics import ChurnModel, FcatMonitor, MonitoringConfig
+from repro.dynamics.churn import FreshTagSource, TagLifetimes
+from repro.sim.population import TagPopulation
+
+
+class TestChurnModel:
+    def test_arrival_rate(self, rng):
+        churn = ChurnModel(arrival_rate=10.0)
+        total = sum(churn.arrivals_in(1.0, rng) for _ in range(200))
+        assert total / 200 == pytest.approx(10.0, rel=0.1)
+
+    def test_no_arrivals(self, rng):
+        assert ChurnModel().arrivals_in(100.0, rng) == 0
+
+    def test_departure_probability(self):
+        churn = ChurnModel(mean_dwell_s=10.0)
+        assert churn.departure_probability(10.0) == pytest.approx(
+            1 - np.exp(-1))
+        assert ChurnModel().departure_probability(5.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChurnModel(arrival_rate=-1.0)
+        with pytest.raises(ValueError):
+            ChurnModel(mean_dwell_s=0.0)
+        with pytest.raises(ValueError):
+            ChurnModel().arrivals_in(-1.0, np.random.default_rng(1))
+
+
+class TestTagLifetimes:
+    def test_latency_computation(self):
+        lifetimes = TagLifetimes()
+        lifetimes.arrive(1, 0.0)
+        lifetimes.read(1, 2.5)
+        assert lifetimes.detection_latencies() == [2.5]
+
+    def test_stale_read_excluded_from_latency(self):
+        lifetimes = TagLifetimes()
+        lifetimes.arrive(1, 0.0)
+        lifetimes.depart(1, 1.0)
+        lifetimes.read(1, 3.0)  # recovered from a record after leaving
+        assert lifetimes.detection_latencies() == []
+        assert lifetimes.stale_reads() == 1
+        assert lifetimes.missed_departures() == 1
+
+    def test_missed_departures(self):
+        lifetimes = TagLifetimes()
+        lifetimes.arrive(1, 0.0)
+        lifetimes.depart(1, 5.0)
+        assert lifetimes.missed_departures() == 1
+        lifetimes.arrive(2, 0.0)
+        lifetimes.read(2, 1.0)
+        lifetimes.depart(2, 5.0)
+        assert lifetimes.missed_departures() == 1
+
+    def test_first_event_wins(self):
+        lifetimes = TagLifetimes()
+        lifetimes.read(1, 1.0)
+        lifetimes.read(1, 9.0)
+        lifetimes.arrive(1, 0.0)
+        assert lifetimes.read_at[1] == 1.0
+
+
+class TestFreshTagSource:
+    def test_mints_valid_distinct_ids(self, rng):
+        source = FreshTagSource(rng)
+        ids = source.next_ids(200)
+        assert len(set(ids)) == 200
+        assert all(verify_tag_id(tag) for tag in ids[:20])
+
+    def test_respects_reserved(self, rng):
+        first = FreshTagSource(np.random.default_rng(1)).next_ids(50)
+        source = FreshTagSource(np.random.default_rng(1),
+                                reserved=frozenset(first))
+        assert not set(source.next_ids(50)) & set(first)
+
+
+class TestMonitor:
+    @pytest.fixture(scope="class")
+    def static_run(self):
+        population = TagPopulation.random(300, np.random.default_rng(9))
+        monitor = FcatMonitor(MonitoringConfig(duration_s=30.0))
+        return monitor.run(population, ChurnModel(), np.random.default_rng(3))
+
+    def test_static_population_fully_read(self, static_run):
+        assert static_run.tags_read == static_run.tags_appeared
+        assert static_run.detection_fraction == 1.0
+        assert static_run.stale_reads == 0
+
+    def test_latencies_positive_and_bounded(self, static_run):
+        mean, p95 = static_run.latency_stats()
+        assert 0 < mean < p95 < static_run.config.duration_s
+
+    def test_collision_records_contribute(self, static_run):
+        assert static_run.resolved_from_collision > 0
+
+    def test_tracking_trace_follows_backlog(self, static_run):
+        # Once everything is read, the estimator trace should sit near zero.
+        final_estimate, final_truth = static_run.tracking_trace[-1]
+        assert final_truth == 0
+        assert final_estimate < 30
+
+    def test_churn_degrades_detection(self):
+        population = TagPopulation.random(300, np.random.default_rng(9))
+        results = {}
+        for dwell in (60.0, 5.0):
+            churn = ChurnModel(arrival_rate=8.0, mean_dwell_s=dwell)
+            monitor = FcatMonitor(MonitoringConfig(duration_s=30.0))
+            results[dwell] = monitor.run(population, churn,
+                                         np.random.default_rng(3))
+        assert results[5.0].detection_fraction \
+            < results[60.0].detection_fraction
+        assert results[5.0].missed_departures > 0
+
+    def test_arrivals_are_detected(self):
+        monitor = FcatMonitor(MonitoringConfig(duration_s=20.0))
+        churn = ChurnModel(arrival_rate=10.0)
+        result = monitor.run(TagPopulation.random(0, np.random.default_rng(1)),
+                             churn, np.random.default_rng(3))
+        assert result.tags_appeared > 100
+        assert result.tags_read == result.tags_appeared
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MonitoringConfig(duration_s=0.0)
+        with pytest.raises(ValueError):
+            MonitoringConfig(lam=1)

@@ -1,0 +1,72 @@
+"""Integration: every protocol survives a hostile channel and stays exact.
+
+The invariants: the reader never reports an ID that is not in the
+population, never reports one twice, and -- as long as errors are not
+certain -- eventually reports them all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AdaptiveBinarySplitting,
+    AdaptiveQuerySplitting,
+    Crdsa,
+    Dfsa,
+    Edfsa,
+    SlottedAloha,
+)
+from repro.core import Fcat, Scat
+from repro.sim.channel import ChannelModel
+from repro.sim.population import TagPopulation
+
+ALL_PROTOCOLS = [
+    Fcat(lam=2), Fcat(lam=4), Scat(lam=2), Dfsa(), Edfsa(),
+    AdaptiveBinarySplitting(), AdaptiveQuerySplitting(), Crdsa(),
+    SlottedAloha(),
+]
+
+HOSTILE = ChannelModel(singleton_corrupt_prob=0.15, ack_loss_prob=0.15,
+                       collision_unusable_prob=0.5)
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS,
+                         ids=lambda p: p.name)
+class TestHostileChannel:
+    def test_complete_and_exact(self, protocol):
+        population = TagPopulation.random(150, np.random.default_rng(21))
+        result = protocol.read_all(population, np.random.default_rng(22),
+                                   channel=HOSTILE)
+        assert result.n_read == 150  # complete, no duplicates counted
+
+    def test_accounting_still_partitions(self, protocol):
+        population = TagPopulation.random(100, np.random.default_rng(23))
+        result = protocol.read_all(population, np.random.default_rng(24),
+                                   channel=HOSTILE)
+        assert result.total_slots == (result.empty_slots
+                                      + result.singleton_slots
+                                      + result.collision_slots)
+        assert result.duration_s > 0
+
+
+class TestDegradationOrder:
+    def test_more_noise_never_helps_fcat(self):
+        population = TagPopulation.random(600, np.random.default_rng(31))
+        slots = []
+        for q in (0.0, 0.5, 1.0):
+            channel = ChannelModel(collision_unusable_prob=q)
+            result = Fcat(lam=2).read_all(population,
+                                          np.random.default_rng(32),
+                                          channel=channel)
+            slots.append(result.total_slots)
+        assert slots[0] < slots[1] < slots[2]
+
+    def test_ack_loss_inflates_slots_only(self):
+        population = TagPopulation.random(400, np.random.default_rng(33))
+        clean = Dfsa().read_all(population, np.random.default_rng(34))
+        lossy = Dfsa().read_all(population, np.random.default_rng(34),
+                                channel=ChannelModel(ack_loss_prob=0.3))
+        assert lossy.n_read == clean.n_read == 400
+        assert lossy.total_slots > clean.total_slots

@@ -1,0 +1,125 @@
+"""The warehouse inventory application layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.dfsa import Dfsa
+from repro.core.fcat import Fcat
+from repro.inventory import (
+    ReaderLocation,
+    Warehouse,
+    reconcile,
+    run_inventory_round,
+)
+from repro.sim.base import TagReadingProtocol
+from repro.sim.channel import ChannelModel
+from repro.sim.population import TagPopulation
+from repro.sim.result import ReadingResult
+
+
+class TestWarehouseLayout:
+    def test_random_layout_covers_everyone(self, rng):
+        population = TagPopulation.random(300, rng)
+        warehouse = Warehouse.random_layout(population, 4, rng, overlap=0.2)
+        assert warehouse.all_ids == frozenset(population.ids)
+        assert len(warehouse.locations) == 4
+
+    def test_overlap_produces_duplicates(self, rng):
+        population = TagPopulation.random(300, rng)
+        warehouse = Warehouse.random_layout(population, 4, rng, overlap=0.3)
+        assert warehouse.uncovered_overlap_fraction > 0.0
+
+    def test_zero_overlap(self, rng):
+        population = TagPopulation.random(200, rng)
+        warehouse = Warehouse.random_layout(population, 3, rng, overlap=0.0)
+        assert warehouse.uncovered_overlap_fraction == 0.0
+
+    def test_single_location(self, rng):
+        population = TagPopulation.random(50, rng)
+        warehouse = Warehouse.random_layout(population, 1, rng)
+        assert len(warehouse.locations) == 1
+        assert len(warehouse.locations[0]) == 50
+
+    def test_validation(self, rng):
+        population = TagPopulation.random(10, rng)
+        with pytest.raises(ValueError):
+            Warehouse([])
+        with pytest.raises(ValueError):
+            Warehouse.random_layout(population, 0, rng)
+        with pytest.raises(ValueError):
+            Warehouse.random_layout(population, 2, rng, overlap=1.5)
+        location = ReaderLocation("a", frozenset(population.ids))
+        with pytest.raises(ValueError):
+            Warehouse([location, location])
+
+
+class TestInventoryRound:
+    def test_round_reads_everything_once(self, rng):
+        population = TagPopulation.random(400, rng)
+        warehouse = Warehouse.random_layout(population, 3, rng, overlap=0.25)
+        round_result = run_inventory_round(warehouse, Fcat(lam=2),
+                                           np.random.default_rng(5))
+        assert round_result.observed_ids == frozenset(population.ids)
+        assert round_result.duplicates_discarded > 0
+        assert round_result.total_duration_s > 0
+        assert "unique tags" in round_result.summary()
+
+    def test_fcat_round_faster_than_dfsa(self, rng):
+        population = TagPopulation.random(1200, rng)
+        warehouse = Warehouse.random_layout(population, 3, rng, overlap=0.15)
+        fcat = run_inventory_round(warehouse, Fcat(lam=2),
+                                   np.random.default_rng(5))
+        dfsa = run_inventory_round(warehouse, Dfsa(),
+                                   np.random.default_rng(5))
+        assert fcat.total_duration_s < dfsa.total_duration_s
+
+    def test_round_survives_noisy_channel(self, rng):
+        population = TagPopulation.random(200, rng)
+        warehouse = Warehouse.random_layout(population, 2, rng)
+        channel = ChannelModel(singleton_corrupt_prob=0.1, ack_loss_prob=0.1)
+        round_result = run_inventory_round(warehouse, Fcat(lam=2),
+                                           np.random.default_rng(5),
+                                           channel=channel)
+        assert round_result.observed_ids == frozenset(population.ids)
+
+    def test_incomplete_read_rejected(self, rng):
+        class Flaky(TagReadingProtocol):
+            name = "flaky"
+
+            def read_all(self, population, rng, channel=None, timing=None):
+                from repro.air.timing import ICODE_TIMING
+                return ReadingResult(protocol=self.name,
+                                     n_tags=len(population),
+                                     n_read=max(len(population) - 1, 0),
+                                     singleton_slots=1,
+                                     timing=ICODE_TIMING)
+
+        population = TagPopulation.random(20, rng)
+        warehouse = Warehouse.random_layout(population, 1, rng)
+        with pytest.raises(RuntimeError):
+            run_inventory_round(warehouse, Flaky(), np.random.default_rng(5))
+
+
+class TestReconciliation:
+    def _round(self, population, rng):
+        warehouse = Warehouse.random_layout(population, 2, rng)
+        return run_inventory_round(warehouse, Fcat(lam=2),
+                                   np.random.default_rng(5))
+
+    def test_clean_inventory(self, rng):
+        population = TagPopulation.random(100, rng)
+        report = reconcile(frozenset(population.ids),
+                           self._round(population, rng))
+        assert report.clean
+        assert "reconciles" in report.summary()
+
+    def test_missing_and_unexpected_detected(self, rng):
+        population = TagPopulation.random(100, rng)
+        manifest = set(population.ids[:90]) | {123, 456}  # 2 ghosts
+        report = reconcile(manifest, self._round(population, rng))
+        assert len(report.missing) == 2          # the ghosts never observed
+        assert len(report.unexpected) == 10      # tags absent from manifest
+        assert not report.clean
+        assert "missing" in report.summary()

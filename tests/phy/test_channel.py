@@ -1,0 +1,95 @@
+"""Waveform channel model: gains, superposition, AWGN calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.phy.channel import ChannelGain, awgn, mix_signals, random_channel
+from repro.phy.msk import msk_modulate
+
+
+class TestChannelGain:
+    def test_scales_amplitude(self, rng):
+        signal = msk_modulate(rng.integers(0, 2, 20).astype(np.uint8))
+        observed = ChannelGain(0.5, 0.0).apply(signal)
+        assert np.allclose(np.abs(observed), 0.5)
+
+    def test_rotates_phase(self):
+        gain = ChannelGain(1.0, np.pi / 3)
+        observed = gain.apply(np.array([1.0 + 0j]))
+        assert np.angle(observed[0]) == pytest.approx(np.pi / 3)
+
+    def test_static_channel_is_repeatable(self, rng):
+        """Tags are static during a session (section IV-E): the same channel
+        applied twice yields the same waveform -- the property that makes the
+        reader's direct subtraction work."""
+        gain = random_channel(rng)
+        signal = msk_modulate(rng.integers(0, 2, 30).astype(np.uint8))
+        assert np.array_equal(gain.apply(signal), gain.apply(signal))
+
+    def test_frequency_offset_drifts_phase(self):
+        gain = ChannelGain(1.0, 0.0, freq_offset=0.01)
+        observed = gain.apply(np.ones(100, dtype=complex))
+        phases = np.unwrap(np.angle(observed))
+        assert phases[-1] - phases[0] == pytest.approx(0.99, rel=1e-6)
+
+    def test_rejects_nonpositive_attenuation(self):
+        with pytest.raises(ValueError):
+            ChannelGain(0.0, 0.0)
+
+    def test_random_channel_bounds(self, rng):
+        for _ in range(20):
+            gain = random_channel(rng, attenuation_range=(0.3, 0.9))
+            assert 0.3 <= gain.attenuation <= 0.9
+            assert gain.freq_offset == 0.0
+
+    def test_random_channel_freq_offset(self, rng):
+        gain = random_channel(rng, max_freq_offset=0.02)
+        assert -0.02 <= gain.freq_offset <= 0.02
+
+    def test_random_channel_validation(self, rng):
+        with pytest.raises(ValueError):
+            random_channel(rng, attenuation_range=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            random_channel(rng, max_freq_offset=-1.0)
+
+
+class TestMixing:
+    def test_superposition_is_sum(self):
+        a = np.array([1 + 1j, 2 + 0j])
+        b = np.array([0 + 1j, 1 + 1j])
+        assert np.array_equal(mix_signals([a, b]), a + b)
+
+    def test_single_signal_unchanged(self):
+        a = np.array([1 + 2j])
+        assert np.array_equal(mix_signals([a]), a)
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(ValueError):
+            mix_signals([])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            mix_signals([np.ones(3, dtype=complex),
+                         np.ones(4, dtype=complex)])
+
+
+class TestAwgn:
+    def test_noise_power_calibration(self, rng):
+        signal = np.zeros(200_000, dtype=complex)
+        noisy = awgn(signal, snr_db=10.0, rng=rng)
+        measured = float(np.mean(np.abs(noisy) ** 2))
+        assert measured == pytest.approx(0.1, rel=0.05)
+
+    def test_high_snr_barely_perturbs(self, rng):
+        signal = msk_modulate(rng.integers(0, 2, 50).astype(np.uint8))
+        noisy = awgn(signal, snr_db=60.0, rng=rng)
+        assert np.max(np.abs(noisy - signal)) < 0.02
+
+    def test_signal_power_reference(self, rng):
+        """SNR is defined against the reference power, not the mix power."""
+        signal = np.zeros(100_000, dtype=complex)
+        strong = awgn(signal, snr_db=10.0, rng=rng, signal_power=4.0)
+        measured = float(np.mean(np.abs(strong) ** 2))
+        assert measured == pytest.approx(0.4, rel=0.1)

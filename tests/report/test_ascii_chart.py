@@ -1,0 +1,60 @@
+"""ASCII chart rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.report.ascii_chart import AsciiChart
+
+
+class TestAsciiChart:
+    def test_renders_title_legend_and_glyphs(self):
+        chart = AsciiChart("demo", width=40, height=8)
+        chart.add_series("up", np.array([0.0, 1.0, 2.0]),
+                         np.array([0.0, 1.0, 2.0]))
+        text = chart.render()
+        assert "demo" in text
+        assert "* up" in text
+        grid_lines = text.split("\n")[2:-2]
+        assert any("*" in line for line in grid_lines)
+
+    def test_multiple_series_get_distinct_glyphs(self):
+        chart = AsciiChart("demo")
+        chart.add_series("one", np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+        chart.add_series("two", np.array([0.0, 1.0]), np.array([1.0, 0.0]))
+        text = chart.render()
+        assert "* one" in text and "o two" in text
+
+    def test_axis_labels_present(self):
+        chart = AsciiChart("demo", x_label="load")
+        chart.add_series("s", np.array([2.0, 5.0]), np.array([1.0, 4.0]))
+        text = chart.render()
+        assert "(load)" in text
+        assert "2" in text and "5" in text
+
+    def test_flat_series_does_not_crash(self):
+        chart = AsciiChart("demo")
+        chart.add_series("flat", np.array([0.0, 1.0]), np.array([3.0, 3.0]))
+        assert "flat" in chart.render()
+
+    def test_single_point(self):
+        chart = AsciiChart("demo")
+        chart.add_series("dot", np.array([1.0]), np.array([1.0]))
+        assert chart.render()
+
+    def test_validation(self):
+        chart = AsciiChart("demo")
+        with pytest.raises(ValueError):
+            chart.render()  # no series
+        with pytest.raises(ValueError):
+            chart.add_series("bad", np.array([1.0, 2.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            chart.add_series("empty", np.array([]), np.array([]))
+
+    def test_series_limit(self):
+        chart = AsciiChart("demo")
+        for index in range(8):
+            chart.add_series(f"s{index}", np.array([0.0]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            chart.add_series("overflow", np.array([0.0]), np.array([0.0]))

@@ -1,0 +1,79 @@
+"""The SessionTrace timeline renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fcat import Fcat
+from repro.report.session_plot import (
+    estimate_sparkline,
+    render_session,
+    slot_strip,
+)
+from repro.sim.population import TagPopulation
+from repro.sim.trace import SessionTrace, SlotEvent, SlotKind
+
+
+def _event(kind, learned=(), probe=False, slot=0):
+    return SlotEvent(slot_index=slot, frame_index=0, kind=kind,
+                     report_probability=0.2, learned=learned, probe=probe)
+
+
+class TestSlotStrip:
+    def test_character_mapping(self):
+        trace = SessionTrace()
+        trace.record(_event(SlotKind.EMPTY))
+        trace.record(_event(SlotKind.SINGLETON, learned=(7,)))
+        trace.record(_event(SlotKind.COLLISION))
+        trace.record(_event(SlotKind.COLLISION, learned=(9,)))
+        trace.record(_event(SlotKind.EMPTY, probe=True))
+        assert slot_strip(trace) == ".sxR!"
+
+    def test_cascading_singleton_marked_as_resolution(self):
+        trace = SessionTrace()
+        trace.record(_event(SlotKind.SINGLETON, learned=(1, 2)))
+        assert slot_strip(trace) == "R"
+
+    def test_wrapping(self):
+        trace = SessionTrace()
+        for _ in range(10):
+            trace.record(_event(SlotKind.EMPTY))
+        assert slot_strip(trace, width=4) == "....\n....\n.."
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            slot_strip(SessionTrace(), width=0)
+
+
+class TestSparkline:
+    def test_empty_trace(self):
+        assert "no estimator" in estimate_sparkline(SessionTrace())
+
+    def test_peak_normalized(self):
+        trace = SessionTrace()
+        trace.record_estimate(0, 100.0)
+        trace.record_estimate(1, 50.0)
+        trace.record_estimate(2, 1.0)
+        line = estimate_sparkline(trace)
+        assert len(line) == 3
+        assert line[0] == "@"  # the peak maps to the densest glyph
+
+    def test_downsampling(self):
+        trace = SessionTrace()
+        for frame in range(200):
+            trace.record_estimate(frame, float(200 - frame))
+        assert len(estimate_sparkline(trace, width=40)) == 40
+
+
+class TestRenderSession:
+    def test_real_session_renders(self):
+        population = TagPopulation.random(150, np.random.default_rng(81))
+        trace = SessionTrace()
+        Fcat(lam=2).read_all(population, np.random.default_rng(82),
+                             trace=trace)
+        text = render_session(trace)
+        assert "legend" in text
+        assert "!" in text          # the termination probe shows up
+        assert "R" in text          # so do ANC resolutions
+        assert "estimator" in text

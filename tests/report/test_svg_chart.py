@@ -1,0 +1,78 @@
+"""SVG chart rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.report.ascii_chart import AsciiChart
+from repro.report.svg_chart import SvgChart, svg_from_ascii_chart
+
+
+def _chart():
+    chart = SvgChart("demo <title>", x_label="load", y_label="tags/s")
+    chart.add_series("one", np.array([0.0, 1.0, 2.0]),
+                     np.array([1.0, 4.0, 2.0]))
+    return chart
+
+
+class TestSvgChart:
+    def test_renders_valid_skeleton(self):
+        text = _chart().render()
+        assert text.startswith("<svg")
+        assert text.endswith("</svg>")
+        assert text.count("<polyline") == 1
+        assert text.count("<circle") == 3
+
+    def test_escapes_markup(self):
+        assert "demo &lt;title&gt;" in _chart().render()
+
+    def test_axis_labels(self):
+        text = _chart().render()
+        assert "load" in text and "tags/s" in text
+
+    def test_multiple_series_distinct_colors(self):
+        chart = _chart()
+        chart.add_series("two", np.array([0.0, 2.0]), np.array([3.0, 3.0]))
+        text = chart.render()
+        assert "#1f77b4" in text and "#d62728" in text
+
+    def test_flat_and_single_point_series(self):
+        chart = SvgChart("flat")
+        chart.add_series("dot", np.array([1.0]), np.array([1.0]))
+        assert "<circle" in chart.render()
+
+    def test_unsorted_x_is_sorted_for_the_polyline(self):
+        chart = SvgChart("unsorted")
+        chart.add_series("s", np.array([2.0, 0.0, 1.0]),
+                         np.array([1.0, 1.0, 1.0]))
+        text = chart.render()
+        polyline = text.split('<polyline points="')[1].split('"')[0]
+        xs = [float(pair.split(",")[0]) for pair in polyline.split()]
+        assert xs == sorted(xs)
+
+    def test_validation(self):
+        chart = SvgChart("empty")
+        with pytest.raises(ValueError):
+            chart.render()
+        with pytest.raises(ValueError):
+            chart.add_series("bad", np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_series_limit(self):
+        chart = SvgChart("limit")
+        for index in range(8):
+            chart.add_series(f"s{index}", np.array([0.0]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            chart.add_series("overflow", np.array([0.0]), np.array([0.0]))
+
+
+class TestConversion:
+    def test_from_ascii_chart(self):
+        ascii_chart = AsciiChart("converted", x_label="N")
+        ascii_chart.add_series("curve", np.array([1.0, 2.0]),
+                               np.array([3.0, 4.0]))
+        svg = svg_from_ascii_chart(ascii_chart)
+        text = svg.render()
+        assert "converted" in text
+        assert "curve" in text
+        assert "(N)" not in text  # SVG uses plain labels, not ASCII style

@@ -1,0 +1,46 @@
+"""Markdown table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.report.tables import MarkdownTable, format_number
+
+
+class TestFormatNumber:
+    def test_ints_stay_ints(self):
+        assert format_number(42) == "42"
+
+    def test_floats_rounded(self):
+        assert format_number(3.14159, digits=2) == "3.14"
+
+    def test_whole_floats_lose_decimal(self):
+        assert format_number(10.0) == "10"
+
+    def test_nan_is_dash(self):
+        assert format_number(float("nan")) == "-"
+
+    def test_strings_pass_through(self):
+        assert format_number("0.25") == "0.25"
+
+
+class TestMarkdownTable:
+    def test_render_structure(self):
+        table = MarkdownTable("T", ["a", "b"])
+        table.add_row(1, 2.5)
+        table.add_note("note")
+        text = table.render()
+        assert "### T" in text
+        assert "| a | b |" in text
+        assert "| 1 | 2.5 |" in text
+        assert "> note" in text
+
+    def test_row_width_checked(self):
+        table = MarkdownTable("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_str_is_render(self):
+        table = MarkdownTable("T", ["x"])
+        table.add_row(7)
+        assert str(table) == table.render()

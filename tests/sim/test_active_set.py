@@ -1,0 +1,125 @@
+"""ActiveSet: O(1) set with uniform sampling -- model-based and statistical
+tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.sim.active_set import ActiveSet
+
+
+class TestBasics:
+    def test_add_len_contains(self):
+        active = ActiveSet([1, 2, 3])
+        assert len(active) == 3
+        assert 2 in active and 5 not in active
+
+    def test_add_is_idempotent(self):
+        active = ActiveSet()
+        active.add(7)
+        active.add(7)
+        assert len(active) == 1
+
+    def test_remove_middle_last_and_missing(self):
+        active = ActiveSet([1, 2, 3])
+        active.remove(2)       # middle: triggers swap-with-last
+        active.remove(3)       # now last
+        assert list(active) == [1]
+        with pytest.raises(KeyError):
+            active.remove(99)
+
+    def test_discard(self):
+        active = ActiveSet([1])
+        assert active.discard(1) is True
+        assert active.discard(1) is False
+
+    def test_iteration_matches_membership(self):
+        items = [10, 20, 30, 40]
+        active = ActiveSet(items)
+        active.remove(20)
+        assert sorted(active) == [10, 30, 40]
+
+
+class TestSampling:
+    def test_sample_bounds(self, rng):
+        active = ActiveSet(range(10))
+        with pytest.raises(ValueError):
+            active.sample(11, rng)
+        with pytest.raises(ValueError):
+            active.sample(-1, rng)
+        assert active.sample(0, rng) == []
+        assert sorted(active.sample(10, rng)) == list(range(10))
+
+    def test_sample_distinct(self, rng):
+        active = ActiveSet(range(100))
+        for k in (1, 3, 50, 60, 99):
+            drawn = active.sample(k, rng)
+            assert len(drawn) == k
+            assert len(set(drawn)) == k
+
+    def test_sample_uniform(self, rng):
+        """Each member should be drawn ~k/n of the time."""
+        active = ActiveSet(range(20))
+        counts = np.zeros(20)
+        trials = 4000
+        for _ in range(trials):
+            for item in active.sample(3, rng):
+                counts[item] += 1
+        expected = trials * 3 / 20
+        assert np.all(np.abs(counts - expected) < 6 * np.sqrt(expected))
+
+    def test_binomial_sampling_rate(self, rng):
+        active = ActiveSet(range(500))
+        p = 0.01
+        total = sum(len(active.sample_binomial(p, rng)) for _ in range(2000))
+        expected = 2000 * 500 * p
+        assert abs(total - expected) < 5 * np.sqrt(expected)
+
+    def test_binomial_rejects_bad_probability(self, rng):
+        with pytest.raises(ValueError):
+            ActiveSet([1]).sample_binomial(1.5, rng)
+
+    def test_binomial_on_empty_set(self, rng):
+        assert ActiveSet().sample_binomial(0.5, rng) == []
+
+
+class ActiveSetMachine(RuleBasedStateMachine):
+    """Model-based check against a plain Python set."""
+
+    def __init__(self):
+        super().__init__()
+        self.subject = ActiveSet()
+        self.model: set[int] = set()
+        self.rng = np.random.default_rng(99)
+
+    @rule(item=st.integers(0, 50))
+    def add(self, item):
+        self.subject.add(item)
+        self.model.add(item)
+
+    @rule(item=st.integers(0, 50))
+    def discard(self, item):
+        assert self.subject.discard(item) == (item in self.model)
+        self.model.discard(item)
+
+    @rule(k_fraction=st.floats(0.0, 1.0))
+    def sample(self, k_fraction):
+        k = int(k_fraction * len(self.model))
+        drawn = self.subject.sample(k, self.rng)
+        assert len(drawn) == k
+        assert set(drawn) <= self.model
+
+    @invariant()
+    def same_contents(self):
+        assert len(self.subject) == len(self.model)
+        assert set(self.subject) == self.model
+
+
+TestActiveSetModel = ActiveSetMachine.TestCase
+TestActiveSetModel.settings = settings(max_examples=30,
+                                       stateful_step_count=40,
+                                       deadline=None)

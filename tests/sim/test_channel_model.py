@@ -1,0 +1,49 @@
+"""ChannelModel: validation and Bernoulli rates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.channel import PERFECT_CHANNEL, ChannelModel
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", ["singleton_corrupt_prob",
+                                       "ack_loss_prob",
+                                       "collision_unusable_prob"])
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_rejects_out_of_range(self, field, value):
+        with pytest.raises(ValueError):
+            ChannelModel(**{field: value})
+
+    def test_perfect_channel_never_fails(self, rng):
+        for _ in range(100):
+            assert PERFECT_CHANNEL.singleton_ok(rng)
+            assert PERFECT_CHANNEL.ack_received(rng)
+            assert PERFECT_CHANNEL.record_usable(rng)
+
+
+class TestRates:
+    def test_singleton_corruption_rate(self, rng):
+        channel = ChannelModel(singleton_corrupt_prob=0.3)
+        ok = sum(channel.singleton_ok(rng) for _ in range(5000))
+        assert ok / 5000 == pytest.approx(0.7, abs=0.03)
+
+    def test_ack_loss_rate(self, rng):
+        channel = ChannelModel(ack_loss_prob=0.2)
+        heard = sum(channel.ack_received(rng) for _ in range(5000))
+        assert heard / 5000 == pytest.approx(0.8, abs=0.03)
+
+    def test_record_usable_rate(self, rng):
+        channel = ChannelModel(collision_unusable_prob=0.5)
+        usable = sum(channel.record_usable(rng) for _ in range(5000))
+        assert usable / 5000 == pytest.approx(0.5, abs=0.03)
+
+    def test_certain_failure(self, rng):
+        channel = ChannelModel(singleton_corrupt_prob=1.0,
+                               ack_loss_prob=1.0,
+                               collision_unusable_prob=1.0)
+        assert not channel.singleton_ok(rng)
+        assert not channel.ack_received(rng)
+        assert not channel.record_usable(rng)

@@ -1,0 +1,47 @@
+"""TagPopulation: validation, membership, reproducibility."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.air.ids import make_tag_id
+from repro.sim.population import TagPopulation
+
+
+class TestConstruction:
+    def test_random_population(self, rng):
+        population = TagPopulation.random(50, rng)
+        assert len(population) == 50
+        assert len(set(population.ids)) == 50
+
+    def test_explicit_ids(self):
+        ids = [make_tag_id(1), make_tag_id(2)]
+        population = TagPopulation(ids)
+        assert list(population) == ids
+        assert ids[0] in population
+
+    def test_rejects_duplicates(self):
+        tag = make_tag_id(5)
+        with pytest.raises(ValueError):
+            TagPopulation([tag, tag])
+
+    def test_rejects_bad_crc(self):
+        with pytest.raises(ValueError):
+            TagPopulation([make_tag_id(5) ^ 1])
+
+    def test_validation_can_be_skipped(self):
+        population = TagPopulation([12345], validate=False)
+        assert 12345 in population
+
+    def test_empty_population(self, rng):
+        population = TagPopulation.random(0, rng)
+        assert len(population) == 0
+
+    def test_reproducible(self):
+        a = TagPopulation.random(30, np.random.default_rng(4))
+        b = TagPopulation.random(30, np.random.default_rng(4))
+        assert a.ids == b.ids
+
+    def test_repr(self, rng):
+        assert "3 tags" in repr(TagPopulation.random(3, rng))

@@ -1,0 +1,77 @@
+"""ReadingResult accounting and aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.air.timing import ICODE_TIMING
+from repro.sim.result import ReadingResult, aggregate
+
+
+def _result(**overrides) -> ReadingResult:
+    base = dict(protocol="X", n_tags=100, n_read=100, empty_slots=10,
+                singleton_slots=60, collision_slots=30)
+    base.update(overrides)
+    return ReadingResult(**base)
+
+
+class TestReadingResult:
+    def test_total_slots(self):
+        assert _result().total_slots == 100
+
+    def test_duration_includes_overheads(self):
+        plain = _result()
+        loaded = _result(advertisements=5, index_announcements=7,
+                         id_announcements=2)
+        expected_extra = (5 * ICODE_TIMING.advertisement_duration
+                          + ICODE_TIMING.announcement_duration(7, 23)
+                          + ICODE_TIMING.announcement_duration(2, 96))
+        assert loaded.duration_s - plain.duration_s == pytest.approx(
+            expected_extra)
+
+    def test_throughput(self):
+        result = _result()
+        assert result.throughput == pytest.approx(
+            100 / (100 * ICODE_TIMING.slot_duration))
+
+    def test_complete_flag(self):
+        assert _result().complete
+        assert not _result(n_read=99).complete
+
+    def test_zero_slots_raises_on_throughput(self):
+        empty = _result(empty_slots=0, singleton_slots=0, collision_slots=0)
+        with pytest.raises(ValueError):
+            _ = empty.throughput
+
+    def test_summary_mentions_key_numbers(self):
+        text = _result().summary()
+        assert "100/100" in text and "X" in text
+
+
+class TestAggregate:
+    def test_means_and_std(self):
+        results = [_result(singleton_slots=60), _result(singleton_slots=80)]
+        agg = aggregate(results)
+        assert agg.runs == 2
+        assert agg.singleton_mean == 70
+        assert agg.throughput_std > 0
+
+    def test_single_run_has_zero_std(self):
+        agg = aggregate([_result()])
+        assert agg.throughput_std == 0.0
+
+    def test_resolved_fraction(self):
+        agg = aggregate([_result(resolved_from_collision=40)])
+        assert agg.resolved_fraction == pytest.approx(0.4)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            aggregate([])
+
+    def test_rejects_mixed_protocols(self):
+        with pytest.raises(ValueError):
+            aggregate([_result(), _result(protocol="Y")])
+
+    def test_rejects_mixed_sizes(self):
+        with pytest.raises(ValueError):
+            aggregate([_result(), _result(n_tags=7, n_read=7)])

@@ -1,0 +1,84 @@
+"""Session tracing: structure and FCAT integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fcat import Fcat
+from repro.sim.population import TagPopulation
+from repro.sim.trace import SessionTrace, SlotEvent, SlotKind
+
+
+class TestTraceStructure:
+    def test_record_and_len(self):
+        trace = SessionTrace()
+        trace.record(SlotEvent(slot_index=0, frame_index=0,
+                               kind=SlotKind.EMPTY, report_probability=0.1))
+        assert len(trace) == 1
+
+    def test_slots_of_kind(self):
+        trace = SessionTrace()
+        for kind in (SlotKind.EMPTY, SlotKind.COLLISION, SlotKind.EMPTY):
+            trace.record(SlotEvent(slot_index=0, frame_index=0, kind=kind,
+                                   report_probability=0.1))
+        assert len(trace.slots_of_kind(SlotKind.EMPTY)) == 2
+        assert len(trace.slots_of_kind(SlotKind.SINGLETON)) == 0
+
+    def test_learned_order(self):
+        trace = SessionTrace()
+        trace.record(SlotEvent(slot_index=0, frame_index=0,
+                               kind=SlotKind.SINGLETON,
+                               report_probability=0.1, learned=(7,)))
+        trace.record(SlotEvent(slot_index=1, frame_index=0,
+                               kind=SlotKind.SINGLETON,
+                               report_probability=0.1, learned=(9, 3)))
+        assert trace.learned_order() == [7, 9, 3]
+
+    def test_summary_mentions_counts(self):
+        trace = SessionTrace()
+        trace.record(SlotEvent(slot_index=0, frame_index=0,
+                               kind=SlotKind.EMPTY, report_probability=0.1))
+        assert "1 slots" in trace.summary()
+
+
+class TestFcatIntegration:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        population = TagPopulation.random(200, np.random.default_rng(21))
+        trace = SessionTrace()
+        result = Fcat(lam=2).read_all(population, np.random.default_rng(22),
+                                      trace=trace)
+        return population, trace, result
+
+    def test_one_event_per_slot(self, traced):
+        _, trace, result = traced
+        assert len(trace) == result.total_slots
+
+    def test_kind_counts_match_result(self, traced):
+        _, trace, result = traced
+        assert len(trace.slots_of_kind(SlotKind.EMPTY)) == result.empty_slots
+        assert len(trace.slots_of_kind(SlotKind.SINGLETON)) \
+            == result.singleton_slots
+        assert len(trace.slots_of_kind(SlotKind.COLLISION)) \
+            == result.collision_slots
+
+    def test_every_tag_learned_exactly_once(self, traced):
+        population, trace, _ = traced
+        order = trace.learned_order()
+        assert sorted(order) == sorted(population.ids)
+
+    def test_estimates_per_frame(self, traced):
+        _, trace, result = traced
+        assert len(trace.estimates) == result.frames
+
+    def test_probe_events_flagged(self, traced):
+        _, trace, _ = traced
+        probes = [event for event in trace.events if event.probe]
+        assert probes  # termination requires at least one probe
+        assert probes[-1].kind is SlotKind.EMPTY
+
+    def test_probabilities_in_range(self, traced):
+        _, trace, _ = traced
+        assert all(0.0 < event.report_probability <= 1.0
+                   for event in trace.events)
