@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# One-shot local CI: static analysis + the tier-1 test suite.
+#
+#   scripts/check.sh            # lint src/, then run pytest
+#   scripts/check.sh --lint     # lint only
+#
+# Exits non-zero on the first failing stage.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== repro-lint src =="
+python -m repro.devtools src
+
+if [[ "${1:-}" == "--lint" ]]; then
+    exit 0
+fi
+
+echo "== tier-1 pytest =="
+python -m pytest -x -q

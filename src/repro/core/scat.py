@@ -138,7 +138,7 @@ class Scat(TagReadingProtocol):
             result.advertisements += 1  # per-slot advertisement <i, p_i>
             slot = slot_index
             slot_index += 1
-            transmitters = (list(active) if p == 1.0
+            transmitters = (list(active) if p >= 1.0
                             else active.sample_binomial(p, rng))
             k = len(transmitters)
             result.tag_transmissions += k

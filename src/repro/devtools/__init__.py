@@ -1,0 +1,44 @@
+"""repro.devtools -- static analysis guarding the simulator's invariants.
+
+The reproduction's claims (Tables I-IV throughput, the Table III resolved
+fractions) assume two things review alone cannot keep true at scale: every
+Monte-Carlo path is deterministic under its seed, and every protocol speaks
+the exact same read-session contract.  This package machine-checks those
+invariants (plus numeric hygiene and public-API consistency) with a small
+AST lint engine; ``repro-lint src`` runs it from the command line and
+``tests/test_static_analysis.py`` runs it in tier-1 CI.
+
+See docs/static_analysis.md for the rule catalogue and suppression syntax.
+"""
+
+from repro.devtools.config import DEFAULT_CONFIG, LintConfig
+from repro.devtools.engine import LintEngine, parse_suppressions
+from repro.devtools.findings import Finding, LintReport
+from repro.devtools.reporters import render_json, render_text
+from repro.devtools.rules import (
+    ModuleContext,
+    ProjectContext,
+    Rule,
+    create_rules,
+    describe_rules,
+    register,
+    rule_names,
+)
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "LintConfig",
+    "LintEngine",
+    "parse_suppressions",
+    "Finding",
+    "LintReport",
+    "render_json",
+    "render_text",
+    "ModuleContext",
+    "ProjectContext",
+    "Rule",
+    "create_rules",
+    "describe_rules",
+    "register",
+    "rule_names",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.devtools`` == the ``repro-lint`` console script."""
+
+import sys
+
+from repro.devtools.cli import main
+
+sys.exit(main())

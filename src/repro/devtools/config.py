@@ -1,0 +1,87 @@
+"""Per-rule configuration for the repro lint engine.
+
+Everything path-like is matched against POSIX-style paths relative to the
+scan root (for ``src`` scans that means paths such as
+``repro/experiments/runner.py``), so the same config drives both the real
+tree and the small fixture trees the rule tests build under ``tmp_path``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def path_has_dir(relpath: str, directory: str) -> bool:
+    """True when ``directory`` names one of ``relpath``'s parent segments."""
+    return directory.strip("/") in relpath.split("/")[:-1]
+
+
+def path_matches(relpath: str, suffix: str) -> bool:
+    """Suffix match on whole path segments (``sim/base.py`` style)."""
+    return relpath == suffix or relpath.endswith("/" + suffix)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Knobs for the repo-specific rules (see docs/static_analysis.md)."""
+
+    # --- R1: determinism -------------------------------------------------
+    #: Files allowed to construct Generators/SeedSequences.  Everything else
+    #: must take randomness as an explicit ``rng: np.random.Generator``.
+    rng_entry_points: tuple[str, ...] = (
+        "sim/base.py",
+        "experiments/runner.py",
+        "repro/__init__.py",
+    )
+    #: numpy.random constructors that mint fresh random state.
+    rng_factories: tuple[str, ...] = ("default_rng", "SeedSequence")
+    #: ``np.random.<name>`` attributes that are *not* the legacy global-state
+    #: API and therefore stay legal everywhere (types, not draw functions).
+    rng_benign_attrs: tuple[str, ...] = (
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "default_rng",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    )
+    #: Accepted annotations for parameters named ``rng``.
+    rng_annotations: tuple[str, ...] = (
+        "np.random.Generator",
+        "numpy.random.Generator",
+        "Generator",
+    )
+
+    # --- R2: protocol conformance ---------------------------------------
+    #: Simple name of the shared ABC every reading protocol subclasses.
+    protocol_base: str = "TagReadingProtocol"
+    #: Directories whose protocol classes must honour the contract.
+    protocol_dirs: tuple[str, ...] = ("baselines", "core")
+    #: The shared read-session entry point.
+    protocol_method: str = "read_all"
+    #: Leading positional parameters, in order.
+    protocol_required_params: tuple[str, ...] = ("self", "population", "rng")
+    #: Extra parameters a protocol may add, all of which need defaults.
+    protocol_optional_params: tuple[str, ...] = ("channel", "timing", "trace")
+
+    # --- R3: numeric hygiene --------------------------------------------
+    #: Directories where ``== <float literal>`` comparisons are banned.
+    float_equality_dirs: tuple[str, ...] = ("phy", "analysis", "core")
+
+    # --- R4: public-API consistency -------------------------------------
+    #: Test module (relative to the repo root) whose ``PACKAGES`` list must
+    #: agree with the packages that actually exist.
+    api_packages_test: str = "tests/test_public_api.py"
+    #: Docs (relative to the repo root) whose ``from repro... import`` lines
+    #: must only name exported symbols.
+    api_doc_paths: tuple[str, ...] = ("docs/api_reference.md", "README.md")
+    #: Dotted-name depth up to which packages must appear in ``PACKAGES``
+    #: (``repro.core`` is depth 1; ``repro.devtools.rules`` is depth 2 and
+    #: only gets the per-module ``__all__`` checks).
+    api_packages_max_depth: int = 1
+
+
+DEFAULT_CONFIG = LintConfig()

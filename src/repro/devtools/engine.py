@@ -1,0 +1,141 @@
+"""The lint engine: file discovery, parsing, suppression, rule dispatch.
+
+Typical use::
+
+    from repro.devtools import LintEngine
+
+    report = LintEngine().lint_paths(["src"])
+    if not report.ok:
+        ...
+
+Suppressions are line-scoped comments of the form::
+
+    risky_line()  # repro: allow-float-equality -- rationale
+
+    # repro: allow-mutable-default -- rationale
+    def helper(cache={}): ...
+
+A trailing comment covers its own line; a comment alone on a line covers the
+next line as well (so multi-line statements can be annotated above).  Several
+rules can be allowed at once: ``# repro: allow-rule-a,rule-b``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.devtools.config import DEFAULT_CONFIG, LintConfig
+from repro.devtools.findings import Finding, LintReport
+from repro.devtools.rules import ModuleContext, ProjectContext, Rule, create_rules
+
+_SUPPRESS = re.compile(r"#\s*repro:\s*allow-([a-z0-9_,\-]+)")
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule names allowed on that line."""
+    allowed: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [(token.start[0], token.start[1], token.string)
+                    for token in tokens if token.type == tokenize.COMMENT]
+    except tokenize.TokenizeError:
+        return allowed
+    lines = source.splitlines()
+    for line, column, text in comments:
+        match = _SUPPRESS.search(text)
+        if match is None:
+            continue
+        rules = {name.strip() for name in match.group(1).split(",")
+                 if name.strip()}
+        targets = [line]
+        prefix = lines[line - 1][:column] if line - 1 < len(lines) else ""
+        if not prefix.strip():
+            targets.append(line + 1)  # standalone comment covers next line
+        for target in targets:
+            allowed.setdefault(target, set()).update(rules)
+    return allowed
+
+
+def load_module(path: Path, relpath: str) -> ModuleContext | Finding:
+    """Parse one file, returning a context or a parse-error finding."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return Finding(path=relpath, line=error.lineno or 1,
+                       rule="parse-error",
+                       message=f"cannot parse: {error.msg}")
+    return ModuleContext(path=path, relpath=relpath, source=source,
+                         tree=tree, suppressions=parse_suppressions(source))
+
+
+def find_repo_root(start: Path) -> Path | None:
+    """Nearest ancestor (inclusive) holding a pyproject.toml."""
+    for candidate in (start, *start.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return None
+
+
+class LintEngine:
+    """Run a set of rules over a tree of Python files."""
+
+    def __init__(self, config: LintConfig | None = None,
+                 select: Iterable[str] = ()) -> None:
+        self.config = config or DEFAULT_CONFIG
+        self.rules: list[Rule] = create_rules(select)
+
+    def build_project(self, paths: Sequence[str | Path]) -> tuple[
+            ProjectContext, list[Finding]]:
+        """Collect and parse every .py file under ``paths``."""
+        errors: list[Finding] = []
+        modules: list[ModuleContext] = []
+        roots = [Path(path) for path in paths]
+        scan_root = roots[0] if roots else Path(".")
+        for root in roots:
+            if root.is_file():
+                files = [root]
+                base = root.parent
+            else:
+                files = sorted(p for p in root.rglob("*.py")
+                               if "__pycache__" not in p.parts)
+                base = root
+            for path in files:
+                relpath = path.relative_to(base).as_posix()
+                loaded = load_module(path, relpath)
+                if isinstance(loaded, Finding):
+                    errors.append(loaded)
+                else:
+                    modules.append(loaded)
+        repo_root = find_repo_root(scan_root.resolve())
+        project = ProjectContext(root=scan_root, modules=modules,
+                                 repo_root=repo_root)
+        return project, errors
+
+    def lint_paths(self, paths: Sequence[str | Path]) -> LintReport:
+        project, errors = self.build_project(paths)
+        report = self.lint_project(project)
+        report.findings = sorted([*errors, *report.findings])
+        return report
+
+    def lint_project(self, project: ProjectContext) -> LintReport:
+        suppressions = {module.relpath: module.suppressions
+                        for module in project.modules}
+        findings: list[Finding] = []
+        for rule in self.rules:
+            for module in project.modules:
+                findings.extend(rule.check_module(module, self.config))
+            findings.extend(rule.check_project(project, self.config))
+        resolved = []
+        for finding in findings:
+            allowed = suppressions.get(finding.path, {}).get(finding.line, ())
+            resolved.append(finding.as_suppressed()
+                            if finding.rule in allowed else finding)
+        return LintReport(findings=sorted(resolved),
+                          modules_checked=len(project.modules),
+                          rules_run=tuple(rule.name for rule in self.rules))

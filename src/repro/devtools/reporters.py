@@ -1,0 +1,45 @@
+"""Render a LintReport for humans (text) or tooling (JSON)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.devtools.findings import LintReport
+
+
+def render_text(report: LintReport, *, show_suppressed: bool = False) -> str:
+    """One finding per line plus a one-line summary, flake8-style."""
+    lines = [finding.render() for finding in report.unsuppressed]
+    if show_suppressed:
+        lines.extend(finding.render() for finding in report.suppressed)
+    n_bad = len(report.unsuppressed)
+    n_ok = len(report.suppressed)
+    summary = (f"{n_bad} finding{'s' if n_bad != 1 else ''}"
+               f" ({n_ok} suppressed) in {report.modules_checked} modules")
+    if n_bad == 0 and not lines:
+        return f"OK: {summary}"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Stable machine-readable form for CI annotations."""
+    payload = {
+        "modules_checked": report.modules_checked,
+        "rules_run": list(report.rules_run),
+        "counts": {
+            "unsuppressed": len(report.unsuppressed),
+            "suppressed": len(report.suppressed),
+        },
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "rule": finding.rule,
+                "message": finding.message,
+                "suppressed": finding.suppressed,
+            }
+            for finding in report.findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,33 @@
+"""Lint rules for the repro codebase, grouped by invariant.
+
+Importing this package populates the registry: each rule module applies the
+:func:`~repro.devtools.rules.registry.register` decorator at import time.
+"""
+
+from repro.devtools.rules.base import (
+    ModuleContext,
+    ProjectContext,
+    Rule,
+)
+from repro.devtools.rules.registry import (
+    create_rules,
+    describe_rules,
+    register,
+    rule_names,
+)
+
+# Importing for side effect: these modules register their rules.
+from repro.devtools.rules import api as _api
+from repro.devtools.rules import determinism as _determinism
+from repro.devtools.rules import numeric as _numeric
+from repro.devtools.rules import protocol as _protocol
+
+__all__ = [
+    "ModuleContext",
+    "ProjectContext",
+    "Rule",
+    "create_rules",
+    "describe_rules",
+    "register",
+    "rule_names",
+]

@@ -1,0 +1,197 @@
+"""R4 -- public-API consistency.
+
+``docs/api_reference.md`` and ``tests/test_public_api.py`` both promise a
+surface; this rule pins each package's ``__all__`` to that promise from the
+other side, statically:
+
+* every package ``__init__`` declares a literal ``__all__`` with no
+  duplicates and no entries that don't resolve to an import or definition;
+* every symbol imported from a ``repro.*`` submodule into a package
+  ``__init__`` is exported (re-export completeness);
+* the ``PACKAGES`` manifest in the public-API test names exactly the
+  shallow packages that exist under the scan root;
+* every ``from repro... import name`` line in the docs names an exported
+  symbol.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.devtools.config import LintConfig
+from repro.devtools.findings import Finding
+from repro.devtools.rules.base import ModuleContext, ProjectContext, Rule
+from repro.devtools.rules.registry import register
+
+_DOC_IMPORT = re.compile(r"^from\s+(repro(?:\.\w+)*)\s+import\s+([\w\s,()]+)$")
+
+
+def _literal_all(module: ModuleContext) -> tuple[list[str] | None, int]:
+    """The module's literal ``__all__`` and its line (list, line)."""
+    for node in module.tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                value = node.value
+                if isinstance(value, (ast.List, ast.Tuple)) and all(
+                        isinstance(e, ast.Constant) and isinstance(e.value, str)
+                        for e in value.elts):
+                    return [e.value for e in value.elts], node.lineno
+                return None, node.lineno
+    return None, 0
+
+
+def _defined_names(module: ModuleContext) -> set[str]:
+    names: set[str] = set()
+    for node in module.tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name != "*":
+                    names.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+    return names
+
+
+@register
+class PublicApiConsistency(Rule):
+    """``__all__`` must agree with the code, the docs and the API test."""
+
+    name = "public-api"
+    description = ("each package __all__ must be a literal, resolvable, "
+                   "duplicate-free export list that covers its repro.* "
+                   "imports and matches docs/api_reference.md and "
+                   "tests/test_public_api.py")
+
+    def check_project(self, project: ProjectContext,
+                      config: LintConfig) -> Iterable[Finding]:
+        exports: dict[str, list[str]] = {}
+        for module in project.package_inits():
+            yield from self._check_init(module, exports)
+        if project.repo_root is not None:
+            yield from self._check_packages_manifest(project, exports, config)
+            yield from self._check_docs(project, exports, config)
+
+    def _check_init(self, module: ModuleContext,
+                    exports: dict[str, list[str]]) -> Iterable[Finding]:
+        declared, line = _literal_all(module)
+        if line == 0:
+            yield self.finding(
+                module, 1,
+                f"package `{module.dotted_name}` declares no __all__")
+            return
+        if declared is None:
+            yield self.finding(
+                module, line,
+                "__all__ must be a literal list/tuple of strings so the "
+                "export surface is statically checkable")
+            return
+        exports[module.dotted_name] = declared
+        seen: set[str] = set()
+        for entry in declared:
+            if entry in seen:
+                yield self.finding(
+                    module, line, f"duplicate __all__ entry `{entry}`")
+            seen.add(entry)
+        defined = _defined_names(module)
+        for entry in declared:
+            if entry not in defined:
+                yield self.finding(
+                    module, line,
+                    f"__all__ entry `{entry}` does not resolve to any "
+                    "import or definition in the package")
+        for node in module.tree.body:
+            if not (isinstance(node, ast.ImportFrom) and node.module
+                    and node.module.split(".")[0] == "repro"):
+                continue
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                if not bound.startswith("_") and bound not in seen:
+                    yield self.finding(
+                        module, node.lineno,
+                        f"`{bound}` is imported from `{node.module}` but "
+                        "missing from __all__; export it or alias it with "
+                        "a leading underscore")
+
+    def _check_packages_manifest(self, project: ProjectContext,
+                                 exports: dict[str, list[str]],
+                                 config: LintConfig) -> Iterable[Finding]:
+        assert project.repo_root is not None
+        test_path = project.repo_root / config.api_packages_test
+        if not test_path.is_file():
+            return
+        try:
+            tree = ast.parse(test_path.read_text())
+        except SyntaxError as error:
+            yield self.finding(config.api_packages_test, error.lineno or 1,
+                               f"cannot parse API test: {error.msg}")
+            return
+        listed: list[str] = []
+        line = 1
+        for node in tree.body:
+            if (isinstance(node, ast.Assign)
+                    and any(isinstance(t, ast.Name) and t.id == "PACKAGES"
+                            for t in node.targets)
+                    and isinstance(node.value, (ast.List, ast.Tuple))):
+                line = node.lineno
+                listed = [e.value for e in node.value.elts
+                          if isinstance(e, ast.Constant)
+                          and isinstance(e.value, str)]
+        if not listed:
+            return
+        shallow = {name for name in exports
+                   if name.count(".") <= config.api_packages_max_depth}
+        for package in listed:
+            if package not in exports:
+                yield self.finding(
+                    config.api_packages_test, line,
+                    f"PACKAGES lists `{package}` but no such package (with "
+                    "an __all__) exists under the scan root")
+        for package in sorted(shallow):
+            if package not in listed:
+                yield self.finding(
+                    config.api_packages_test, line,
+                    f"package `{package}` is missing from the PACKAGES "
+                    "manifest, so the public-API test never covers it")
+
+    def _check_docs(self, project: ProjectContext,
+                    exports: dict[str, list[str]],
+                    config: LintConfig) -> Iterable[Finding]:
+        assert project.repo_root is not None
+        for doc_rel in config.api_doc_paths:
+            doc_path = project.repo_root / doc_rel
+            if not doc_path.is_file():
+                continue
+            for lineno, line in enumerate(
+                    doc_path.read_text().splitlines(), start=1):
+                match = _DOC_IMPORT.match(line.strip())
+                if match is None:
+                    continue
+                package, names = match.groups()
+                declared = exports.get(package)
+                if declared is None:
+                    continue  # import from a plain module, not a package
+                for raw in names.replace("(", "").replace(")", "").split(","):
+                    name = raw.split(" as ")[0].strip()
+                    if name and name not in declared:
+                        yield self.finding(
+                            doc_rel, lineno,
+                            f"doc imports `{name}` from `{package}` but it "
+                            "is not in that package's __all__")

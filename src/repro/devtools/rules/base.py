@@ -1,0 +1,83 @@
+"""Rule interface and the contexts rules receive.
+
+A rule sees either one parsed module at a time (:meth:`Rule.check_module`)
+or the whole project at once (:meth:`Rule.check_project`) for cross-file
+invariants such as protocol conformance and public-API consistency.  Rules
+yield :class:`~repro.devtools.findings.Finding` objects; the engine decides
+suppression afterwards, so rules never need to look at comments.
+"""
+
+from __future__ import annotations
+
+import ast
+from abc import ABC
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import ClassVar, Iterable, Iterator
+
+from repro.devtools.config import LintConfig
+from repro.devtools.findings import Finding
+
+
+@dataclass
+class ModuleContext:
+    """One parsed Python file plus its lint-relevant metadata."""
+
+    path: Path
+    #: POSIX path relative to the scan root, e.g. ``repro/core/fcat.py``.
+    relpath: str
+    source: str
+    tree: ast.Module
+    #: line -> rule names that ``# repro: allow-<rule>`` comments cover.
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+
+    @property
+    def is_package_init(self) -> bool:
+        return self.relpath.endswith("__init__.py")
+
+    @property
+    def dotted_name(self) -> str:
+        """``repro/sim/__init__.py`` -> ``repro.sim``; modules keep stems."""
+        parts = self.relpath[: -len(".py")].split("/")
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
+
+@dataclass
+class ProjectContext:
+    """All modules of one scan, plus where the repository itself lives."""
+
+    #: The scan root the relpaths hang off (typically ``src``).
+    root: Path
+    modules: list[ModuleContext]
+    #: Directory containing ``pyproject.toml``; None when scanning a bare
+    #: fixture tree, which disables the repo-level (docs/tests) checks.
+    repo_root: Path | None = None
+
+    def package_inits(self) -> Iterator[ModuleContext]:
+        for module in self.modules:
+            if module.is_package_init:
+                yield module
+
+
+class Rule(ABC):
+    """Base class every lint rule registers under a unique ``name``."""
+
+    name: ClassVar[str]
+    description: ClassVar[str]
+
+    def check_module(self, module: ModuleContext,
+                     config: LintConfig) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: ProjectContext,
+                      config: LintConfig) -> Iterable[Finding]:
+        return ()
+
+    def finding(self, module_or_path: ModuleContext | str, line: int,
+                message: str) -> Finding:
+        path = (module_or_path.relpath
+                if isinstance(module_or_path, ModuleContext)
+                else module_or_path)
+        return Finding(path=path, line=line, rule=self.name, message=message)

@@ -1,0 +1,146 @@
+"""R2 -- protocol conformance.
+
+Every Table I-IV comparison assumes all protocols run the *same* read
+session: one population in, one :class:`ReadingResult` out, randomness and
+channel effects injected through the same parameters.  A baseline that
+drifts from the shared ``read_all`` contract silently stops being
+comparable, so this rule checks the signature of every
+``TagReadingProtocol`` subclass in the protocol directories.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.devtools.config import LintConfig, path_has_dir
+from repro.devtools.findings import Finding
+from repro.devtools.rules.base import ModuleContext, ProjectContext, Rule
+from repro.devtools.rules.registry import register
+
+
+@dataclass
+class _ClassInfo:
+    module: ModuleContext
+    node: ast.ClassDef
+    bases: tuple[str, ...]
+    in_protocol_dir: bool
+
+    def method(self, name: str) -> ast.FunctionDef | None:
+        for item in self.node.body:
+            if isinstance(item, ast.FunctionDef) and item.name == name:
+                return item
+        return None
+
+
+def _base_names(node: ast.ClassDef) -> tuple[str, ...]:
+    names = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return tuple(names)
+
+
+@register
+class ProtocolConformance(Rule):
+    """Protocol classes must implement the shared read-session interface."""
+
+    name = "protocol-conformance"
+    description = ("every TagReadingProtocol subclass in baselines/ and "
+                   "core/ must define read_all(self, population, rng, "
+                   "channel=..., timing=..., [trace=...])")
+
+    def check_project(self, project: ProjectContext,
+                      config: LintConfig) -> Iterable[Finding]:
+        classes: dict[str, _ClassInfo] = {}
+        for module in project.modules:
+            in_dir = any(path_has_dir(module.relpath, d)
+                         for d in config.protocol_dirs)
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    classes[node.name] = _ClassInfo(
+                        module=module, node=node, bases=_base_names(node),
+                        in_protocol_dir=in_dir)
+
+        def is_protocol(name: str, seen: frozenset[str] = frozenset()) -> bool:
+            if name == config.protocol_base:
+                return True
+            info = classes.get(name)
+            if info is None or name in seen:
+                return False
+            return any(is_protocol(base, seen | {name})
+                       for base in info.bases)
+
+        def inherited_read_all(info: _ClassInfo) -> ast.FunctionDef | None:
+            """The read_all this class actually uses, walking its bases."""
+            own = info.method(config.protocol_method)
+            if own is not None:
+                return own
+            for base in info.bases:
+                if base == config.protocol_base:
+                    continue  # the ABC only holds the abstract stub
+                parent = classes.get(base)
+                if parent is not None:
+                    found = inherited_read_all(parent)
+                    if found is not None:
+                        return found
+            return None
+
+        for name, info in sorted(classes.items()):
+            if not info.in_protocol_dir or name == config.protocol_base:
+                continue
+            if not any(is_protocol(base) for base in info.bases):
+                continue
+            own = info.method(config.protocol_method)
+            if own is None:
+                if inherited_read_all(info) is None:
+                    yield self.finding(
+                        info.module, info.node.lineno,
+                        f"protocol class `{name}` neither defines nor "
+                        f"inherits `{config.protocol_method}`")
+                continue
+            yield from self._check_signature(info, own, config)
+
+    def _check_signature(self, info: _ClassInfo, func: ast.FunctionDef,
+                         config: LintConfig) -> Iterable[Finding]:
+        qualname = f"{info.node.name}.{func.name}"
+        args = func.args
+        if args.vararg is not None or args.kwarg is not None:
+            yield self.finding(
+                info.module, func.lineno,
+                f"`{qualname}` must not take *args/**kwargs; the read "
+                "contract is explicit")
+        positional = [param.arg for param in (*args.posonlyargs, *args.args)]
+        required = list(config.protocol_required_params)
+        if positional[:len(required)] != required:
+            expected = ", ".join(required)
+            yield self.finding(
+                info.module, func.lineno,
+                f"`{qualname}` must start with ({expected}); got "
+                f"({', '.join(positional) or 'nothing'})")
+            return
+        allowed = set(config.protocol_optional_params)
+        extras = positional[len(required):] + [p.arg for p in args.kwonlyargs]
+        for extra in extras:
+            if extra not in allowed:
+                yield self.finding(
+                    info.module, func.lineno,
+                    f"`{qualname}` adds non-contract parameter `{extra}` "
+                    f"(allowed extras: {', '.join(sorted(allowed))})")
+        # Every parameter beyond the required triple needs a default so all
+        # protocols stay callable as read_all(population, rng).
+        n_extra_positional = len(positional) - len(required)
+        if n_extra_positional > len(args.defaults):
+            yield self.finding(
+                info.module, func.lineno,
+                f"`{qualname}` has extra positional parameters without "
+                "defaults; sessions must run as read_all(population, rng)")
+        for param, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is None:
+                yield self.finding(
+                    info.module, func.lineno,
+                    f"`{qualname}` keyword-only parameter `{param.arg}` "
+                    "needs a default")

@@ -1,0 +1,40 @@
+"""Rule registry: rules self-register at import via the @register decorator."""
+
+from __future__ import annotations
+
+from typing import Iterable, Type, TypeVar
+
+from repro.devtools.rules.base import Rule
+
+_REGISTRY: dict[str, Type[Rule]] = {}
+
+RuleT = TypeVar("RuleT", bound=Type[Rule])
+
+
+def register(rule_class: RuleT) -> RuleT:
+    """Class decorator adding a rule to the global registry by its name."""
+    name = getattr(rule_class, "name", None)
+    if not name:
+        raise ValueError(f"{rule_class.__name__} must define a `name`")
+    if name in _REGISTRY and _REGISTRY[name] is not rule_class:
+        raise ValueError(f"duplicate rule name {name!r}")
+    _REGISTRY[name] = rule_class
+    return rule_class
+
+
+def rule_names() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def describe_rules() -> dict[str, str]:
+    return {name: _REGISTRY[name].description for name in rule_names()}
+
+
+def create_rules(select: Iterable[str] = ()) -> list[Rule]:
+    """Instantiate the selected rules (all of them when ``select`` is empty)."""
+    selected = tuple(select) or rule_names()
+    unknown = [name for name in selected if name not in _REGISTRY]
+    if unknown:
+        known = ", ".join(rule_names())
+        raise KeyError(f"unknown rule(s) {unknown}; known rules: {known}")
+    return [_REGISTRY[name]() for name in selected]

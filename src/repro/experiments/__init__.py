@@ -6,7 +6,7 @@ ASCII output (for reports).  ``python -m repro.experiments`` drives them from
 the command line; EXPERIMENTS.md records paper-vs-measured for each.
 """
 
-from repro.experiments.runner import run_cell, sweep
+from repro.experiments.runner import rng_from_seed, run_cell, sweep
 from repro.experiments.table1 import Table1Config, run_table1
 from repro.experiments.table2 import Table2Config, run_table2
 from repro.experiments.table3 import Table3Config, run_table3
@@ -33,6 +33,7 @@ from repro.experiments.ablations import (
 )
 
 __all__ = [
+    "rng_from_seed",
     "run_cell",
     "sweep",
     "Table1Config",

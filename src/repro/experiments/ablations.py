@@ -21,7 +21,7 @@ from repro.air.ids import generate_tag_ids, id_to_bits
 from repro.baselines.crdsa import Crdsa
 from repro.baselines.dfsa import Dfsa
 from repro.core import Fcat, Scat
-from repro.experiments.runner import run_cell
+from repro.experiments.runner import rng_from_seed, run_cell
 from repro.phy import (
     awgn,
     least_squares_cancel,
@@ -93,7 +93,7 @@ def resolvability_rate(k: int, snr_db: float, trials: int,
 
 def run_ablation_snr(config: AblationSnrConfig = AblationSnrConfig()
                      ) -> AblationSnrResult:
-    rng = np.random.default_rng(config.seed)
+    rng = rng_from_seed(config.seed)
     chart = AsciiChart(title="A1 -- ANC resolvability vs SNR",
                        x_label="SNR (dB)", y_label="resolve rate")
     curves: dict[int, list[float]] = {}
@@ -307,7 +307,7 @@ def run_ablation_churn(config: AblationChurnConfig = AblationChurnConfig()
     detection, latencies, stale = [], [], []
     monitor = FcatMonitor(MonitoringConfig(duration_s=config.duration_s))
     for index, dwell in enumerate(config.mean_dwells_s):
-        rng = np.random.default_rng(config.seed + index)
+        rng = rng_from_seed(config.seed + index)
         population = TagPopulation.random(config.initial_tags, rng)
         churn = ChurnModel(arrival_rate=config.arrival_rate,
                            mean_dwell_s=dwell)
@@ -381,7 +381,7 @@ def run_ablation_energy(config: AblationEnergyConfig = AblationEnergyConfig()
         joules = []
         throughputs = []
         for run in range(config.runs):
-            rng = np.random.default_rng(config.seed + 31 * index + run)
+            rng = rng_from_seed(config.seed + 31 * index + run)
             population = TagPopulation.random(config.n_tags, rng)
             result = protocol.read_all(population, rng)
             transmissions.append(transmissions_per_tag(result))

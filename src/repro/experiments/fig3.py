@@ -16,6 +16,7 @@ import numpy as np
 from repro.analysis.estimator_stats import relative_bias_at_load
 from repro.core.estimator import invert_collision_count
 from repro.core.optimal import optimal_omega
+from repro.experiments.runner import rng_from_seed
 from repro.report.ascii_chart import AsciiChart
 
 
@@ -63,7 +64,7 @@ def run_fig3(config: Fig3Config = Fig3Config()) -> Fig3Result:
                        x_label="number of tags", y_label="|bias|")
     analytic: dict[int, np.ndarray] = {}
     empirical: dict[int, float] = {}
-    rng = np.random.default_rng(config.seed)
+    rng = rng_from_seed(config.seed)
     for lam in config.lams:
         omega = optimal_omega(lam)
         curve = np.abs(relative_bias_at_load(omega, n_values,

@@ -19,6 +19,7 @@ from repro.analysis.slot_distribution import (
     singleton_peak,
     slot_expectations,
 )
+from repro.experiments.runner import rng_from_seed
 from repro.report.ascii_chart import AsciiChart
 
 
@@ -57,7 +58,7 @@ def run_fig4(config: Fig4Config = Fig4Config()) -> Fig4Result:
     chart.add_series("E(nc)", n_values, expectations.collision)
     empirical = None
     if config.simulate:
-        rng = np.random.default_rng(config.seed)
+        rng = rng_from_seed(config.seed)
         counts = rng.binomial(config.n_max, p,
                               size=(config.simulate_frames,
                                     config.frame_size))

@@ -18,6 +18,16 @@ from repro.sim.population import TagPopulation
 from repro.sim.result import AggregateResult, ReadingResult, aggregate
 
 
+def rng_from_seed(seed: int | np.random.SeedSequence) -> np.random.Generator:
+    """Mint the Generator for one experiment run from its derived seed.
+
+    This module is one of the designated seed-spawning entry points (lint
+    rule ``rng-construction``); experiment code everywhere else must obtain
+    Generators here so all randomness flows from config seeds.
+    """
+    return np.random.default_rng(seed)
+
+
 def run_cell(protocol: TagReadingProtocol, n_tags: int, runs: int, seed: int,
              channel: ChannelModel = PERFECT_CHANNEL,
              timing: TimingModel = ICODE_TIMING) -> AggregateResult:

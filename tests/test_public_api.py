@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.dynamics",
     "repro.experiments",
     "repro.report",
+    "repro.devtools",
 ]
 
 
