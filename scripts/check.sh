@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
 # One-shot local CI: static analysis + the tier-1 test suite.
 #
-#   scripts/check.sh            # lint src/, then run pytest
-#   scripts/check.sh --lint     # lint only
+#   scripts/check.sh            # lint src/ + tests/ + scripts/, then pytest
+#   scripts/check.sh --lint     # lint stages only
+#   scripts/check.sh --changed  # lint only files changed vs HEAD, no pytest
+#
+# src/ findings block; tests/ and scripts/ run a reduced hygiene rule set
+# in warn-only mode (test code may poke at internals, but stray
+# `import random` or mutable defaults are still worth seeing).
 #
 # Exits non-zero on the first failing stage.
 set -euo pipefail
@@ -10,8 +15,43 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+# Hygiene subset applied to non-src trees (advisory only).
+ADVISORY_RULES="no-import-random,no-global-np-random,mutable-default,float-equality"
+# Per-file rule families for --changed: the whole-program rules
+# (rng-reachability, units-call, ...) need the full tree and would
+# false-positive on a file subset.
+CHANGED_RULES="no-import-random,no-global-np-random,rng-construction,rng-annotation,float-equality,mutable-default,units-arithmetic,probability-domain"
+
+if [[ "${1:-}" == "--changed" ]]; then
+    mapfile -t changed < <(git diff --name-only HEAD -- '*.py' \
+        | while read -r f; do [[ -f "$f" ]] && echo "$f"; done)
+    if [[ ${#changed[@]} -eq 0 ]]; then
+        echo "== repro-lint --changed: no modified Python files =="
+        exit 0
+    fi
+    echo "== repro-lint --changed (${#changed[@]} files) =="
+    src_files=() other_files=()
+    for f in "${changed[@]}"; do
+        if [[ "$f" == src/* ]]; then src_files+=("$f");
+        else other_files+=("$f"); fi
+    done
+    status=0
+    if [[ ${#src_files[@]} -gt 0 ]]; then
+        python -m repro.devtools --no-cache --rules "$CHANGED_RULES" \
+            "${src_files[@]}" || status=$?
+    fi
+    if [[ ${#other_files[@]} -gt 0 ]]; then
+        python -m repro.devtools --no-cache --warn-only --rules "$ADVISORY_RULES" \
+            "${other_files[@]}"
+    fi
+    exit "$status"
+fi
+
 echo "== repro-lint src =="
 python -m repro.devtools src
+
+echo "== repro-lint tests/ scripts/ (advisory) =="
+python -m repro.devtools --no-cache --warn-only --rules "$ADVISORY_RULES" tests scripts
 
 if [[ "${1:-}" == "--lint" ]]; then
     exit 0

@@ -46,6 +46,9 @@ class TimingModel:
             raise ValueError("id_bits and ack_bits must be positive")
         if self.guard_time < 0:
             raise ValueError("guard_time must be non-negative")
+        if self.index_bits <= 0 or self.probability_bits <= 0:
+            raise ValueError(
+                "index_bits and probability_bits must be positive")
 
     @property
     def bit_time(self) -> float:

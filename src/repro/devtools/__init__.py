@@ -4,16 +4,31 @@ The reproduction's claims (Tables I-IV throughput, the Table III resolved
 fractions) assume two things review alone cannot keep true at scale: every
 Monte-Carlo path is deterministic under its seed, and every protocol speaks
 the exact same read-session contract.  This package machine-checks those
-invariants (plus numeric hygiene and public-API consistency) with a small
-AST lint engine; ``repro-lint src`` runs it from the command line and
+invariants with a two-pass whole-program lint engine: pass 1 indexes every
+module (symbol tables, call records, function signatures with inferred
+quantity kinds) behind a content-hash cache; pass 2 runs the cross-file
+rule families -- units/dimension checking, probability-domain interval
+analysis, RNG reachability over the call graph, experiment-registry
+completeness -- alongside the original per-file hygiene rules.
+``repro-lint src`` runs it from the command line and
 ``tests/test_static_analysis.py`` runs it in tier-1 CI.
 
-See docs/static_analysis.md for the rule catalogue and suppression syntax.
+See docs/static_analysis.md for the rule catalogue, the baseline workflow
+and the suppression syntax.
 """
 
+from repro.devtools.baseline import Baseline
+from repro.devtools.cache import CacheEntry, LintCache
 from repro.devtools.config import DEFAULT_CONFIG, LintConfig
 from repro.devtools.engine import LintEngine, parse_suppressions
 from repro.devtools.findings import Finding, LintReport
+from repro.devtools.index import (
+    FunctionInfo,
+    ModuleIndex,
+    ProjectIndex,
+    build_module_index,
+)
+from repro.devtools.intervals import interval_of_expr, provably_outside_unit
 from repro.devtools.reporters import render_json, render_text
 from repro.devtools.rules import (
     ModuleContext,
@@ -24,14 +39,24 @@ from repro.devtools.rules import (
     register,
     rule_names,
 )
+from repro.devtools.units import kind_of_name, kind_of_qualified
 
 __all__ = [
+    "Baseline",
+    "CacheEntry",
+    "LintCache",
     "DEFAULT_CONFIG",
     "LintConfig",
     "LintEngine",
     "parse_suppressions",
     "Finding",
     "LintReport",
+    "FunctionInfo",
+    "ModuleIndex",
+    "ProjectIndex",
+    "build_module_index",
+    "interval_of_expr",
+    "provably_outside_unit",
     "render_json",
     "render_text",
     "ModuleContext",
@@ -41,4 +66,6 @@ __all__ = [
     "describe_rules",
     "register",
     "rule_names",
+    "kind_of_name",
+    "kind_of_qualified",
 ]

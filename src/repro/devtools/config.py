@@ -83,5 +83,46 @@ class LintConfig:
     #: only gets the per-module ``__all__`` checks).
     api_packages_max_depth: int = 1
 
+    # --- R5: units/dimension analysis -----------------------------------
+    #: Directories whose arithmetic and call arguments are kind-checked
+    #: (the packages that move seconds/bits/slots across call boundaries).
+    units_dirs: tuple[str, ...] = ("air", "analysis", "core", "sim",
+                                   "dynamics", "estimate")
+
+    # --- R6: probability-domain interval analysis -----------------------
+    #: Probability checks run tree-wide; directories here additionally
+    #: check dataclass-field defaults (the config-object hot spots).
+    probability_dirs: tuple[str, ...] = ("core", "analysis", "sim",
+                                         "dynamics", "baselines")
+
+    # --- R7: whole-program RNG reachability ------------------------------
+    #: Helper functions that mint Generators from seeds; a function calling
+    #: one of these (or a raw factory) roots the rng-flow reachability walk.
+    rng_mint_helpers: tuple[str, ...] = ("rng_from_seed",)
+    #: Additional reachability roots (``module.dotted:qualname``): public
+    #: stochastic APIs that outside callers (tests, notebooks, downstream
+    #: code) drive with their own Generator.
+    rng_public_roots: tuple[str, ...] = (
+        "repro.analysis.link_budget:simulated_ber",
+        "repro.analysis.link_budget:channel_model_from_snr",
+        "repro.baselines.abs_protocol:AdaptiveBinarySplitting.reread",
+        "repro.baselines.aqs:AdaptiveQuerySplitting.reread",
+        "repro.inventory.manager:run_inventory_round",
+        "repro.inventory.scheduling:run_parallel_round",
+        "repro.inventory.zones:Warehouse.random_layout",
+        "repro.phy.anc:alice_bob_exchange",
+    )
+
+    # --- R8: experiment-registry completeness ----------------------------
+    #: Module filename stems (under ``experiments/``) that must be wired in.
+    experiment_stem_prefixes: tuple[str, ...] = ("fig", "table")
+    #: The CLI module holding the experiment registry dict.
+    experiment_cli: str = "experiments/cli.py"
+    #: Name of the registry dict in the CLI module.
+    experiment_registry: str = "EXPERIMENTS"
+    #: Document (relative to the repo root) that must mention every
+    #: experiment by its registry name.
+    experiment_doc: str = "EXPERIMENTS.md"
+
 
 DEFAULT_CONFIG = LintConfig()

@@ -1,4 +1,22 @@
-"""The lint engine: file discovery, parsing, suppression, rule dispatch.
+"""The lint engine: discovery, pass-1 indexing (cached), pass-2 rules.
+
+A run has two passes:
+
+**Pass 1** touches every file independently: parse, scan suppressions, run
+the per-module rules, build the module's
+:class:`~repro.devtools.index.ModuleIndex`.  All of it depends only on the
+file's bytes, so it is served from the on-disk cache
+(:mod:`repro.devtools.cache`) when the content hash matches -- cache hits
+skip parsing entirely (ASTs stay lazy).
+
+**Pass 2** assembles the module indexes into a
+:class:`~repro.devtools.index.ProjectIndex` and runs every rule's
+``check_project`` -- the whole-program families (units, probability
+domain, rng reachability, experiment registry) plus the older cross-file
+checks (protocol conformance, public API).
+
+Afterwards the engine resolves ``# repro: allow-<rule>`` suppressions and
+applies the baseline (:mod:`repro.devtools.baseline`).
 
 Typical use::
 
@@ -29,9 +47,18 @@ import tokenize
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.devtools.baseline import Baseline
+from repro.devtools.cache import (
+    CacheEntry,
+    LintCache,
+    cache_signature,
+    content_digest,
+)
 from repro.devtools.config import DEFAULT_CONFIG, LintConfig
 from repro.devtools.findings import Finding, LintReport
-from repro.devtools.rules import ModuleContext, ProjectContext, Rule, create_rules
+from repro.devtools.index import ProjectIndex, build_module_index
+from repro.devtools.rules import ModuleContext, ProjectContext, Rule, \
+    create_rules
 
 _SUPPRESS = re.compile(r"#\s*repro:\s*allow-([a-z0-9_,\-]+)")
 
@@ -61,19 +88,6 @@ def parse_suppressions(source: str) -> dict[int, set[str]]:
     return allowed
 
 
-def load_module(path: Path, relpath: str) -> ModuleContext | Finding:
-    """Parse one file, returning a context or a parse-error finding."""
-    source = path.read_text(encoding="utf-8")
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as error:
-        return Finding(path=relpath, line=error.lineno or 1,
-                       rule="parse-error",
-                       message=f"cannot parse: {error.msg}")
-    return ModuleContext(path=path, relpath=relpath, source=source,
-                         tree=tree, suppressions=parse_suppressions(source))
-
-
 def find_repo_root(start: Path) -> Path | None:
     """Nearest ancestor (inclusive) holding a pyproject.toml."""
     for candidate in (start, *start.parents):
@@ -82,60 +96,145 @@ def find_repo_root(start: Path) -> Path | None:
     return None
 
 
+def package_base(path: Path) -> Path:
+    """Scan base of a single file: above its outermost package.
+
+    ``src/repro/core/fcat.py`` lints as ``repro/core/fcat.py`` (walking up
+    while ``__init__.py`` marks a package), so directory-scoped rules see
+    the same paths whether a whole tree or one changed file is linted.
+    """
+    base = path.parent
+    while (base / "__init__.py").is_file() and base.parent != base:
+        base = base.parent
+    return base
+
+
 class LintEngine:
     """Run a set of rules over a tree of Python files."""
 
     def __init__(self, config: LintConfig | None = None,
-                 select: Iterable[str] = ()) -> None:
+                 select: Iterable[str] = (),
+                 cache_path: Path | None = None,
+                 baseline: Baseline | None = None) -> None:
         self.config = config or DEFAULT_CONFIG
         self.rules: list[Rule] = create_rules(select)
+        self.baseline = baseline
+        self.cache: LintCache | None = None
+        if cache_path is not None:
+            signature = cache_signature(
+                repr(self.config),
+                tuple(rule.name for rule in self.rules))
+            self.cache = LintCache(cache_path, signature)
 
-    def build_project(self, paths: Sequence[str | Path]) -> tuple[
-            ProjectContext, list[Finding]]:
-        """Collect and parse every .py file under ``paths``."""
-        errors: list[Finding] = []
-        modules: list[ModuleContext] = []
+    # -- pass 1 ------------------------------------------------------------
+
+    def _discover(self, paths: Sequence[str | Path]
+                  ) -> tuple[Path, list[tuple[Path, str]]]:
+        files: list[tuple[Path, str]] = []
         roots = [Path(path) for path in paths]
         scan_root = roots[0] if roots else Path(".")
         for root in roots:
             if root.is_file():
-                files = [root]
-                base = root.parent
+                base = package_base(root)
+                files.append((root, root.relative_to(base).as_posix()))
             else:
-                files = sorted(p for p in root.rglob("*.py")
-                               if "__pycache__" not in p.parts)
-                base = root
-            for path in files:
-                relpath = path.relative_to(base).as_posix()
-                loaded = load_module(path, relpath)
-                if isinstance(loaded, Finding):
-                    errors.append(loaded)
-                else:
-                    modules.append(loaded)
+                for path in sorted(p for p in root.rglob("*.py")
+                                   if "__pycache__" not in p.parts):
+                    files.append((path, path.relative_to(root).as_posix()))
+        return scan_root, files
+
+    def _load_one(self, path: Path, relpath: str) -> tuple[
+            ModuleContext | None, CacheEntry | None, Finding | None]:
+        """Pass-1 work for one file: cached replay or a fresh build."""
+        source = path.read_text(encoding="utf-8")
+        digest = content_digest(source)
+        if self.cache is not None:
+            cached = self.cache.lookup(relpath, digest)
+            if cached is not None:
+                module = ModuleContext(path=path, relpath=relpath,
+                                       source=source,
+                                       suppressions=cached.suppressions)
+                return module, cached, None
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as error:
+            return None, None, Finding(
+                path=relpath, line=error.lineno or 1, rule="parse-error",
+                message=f"cannot parse: {error.msg}")
+        module = ModuleContext(path=path, relpath=relpath, source=source,
+                               tree=tree,
+                               suppressions=parse_suppressions(source))
+        module_findings = [
+            finding
+            for rule in self.rules
+            for finding in rule.check_module(module, self.config)]
+        entry = CacheEntry(
+            digest=digest, findings=module_findings,
+            suppressions=module.suppressions,
+            index=build_module_index(module.dotted_name, relpath, tree))
+        if self.cache is not None:
+            self.cache.store(relpath, entry)
+        return module, entry, None
+
+    def build_project(self, paths: Sequence[str | Path]) -> tuple[
+            ProjectContext, list[Finding]]:
+        """Pass 1 over every .py file under ``paths``.
+
+        Returns the assembled project (modules + whole-program index) and
+        the findings produced so far (parse errors and per-module rules).
+        """
+        scan_root, files = self._discover(paths)
+        findings: list[Finding] = []
+        modules: list[ModuleContext] = []
+        records = []
+        for path, relpath in files:
+            module, entry, error = self._load_one(path, relpath)
+            if error is not None:
+                findings.append(error)
+                continue
+            assert module is not None and entry is not None
+            modules.append(module)
+            findings.extend(entry.findings)
+            records.append(entry.index)
         repo_root = find_repo_root(scan_root.resolve())
         project = ProjectContext(root=scan_root, modules=modules,
-                                 repo_root=repo_root)
-        return project, errors
+                                 repo_root=repo_root,
+                                 index=ProjectIndex(records))
+        return project, findings
+
+    # -- pass 2 and assembly -----------------------------------------------
 
     def lint_paths(self, paths: Sequence[str | Path]) -> LintReport:
-        project, errors = self.build_project(paths)
-        report = self.lint_project(project)
-        report.findings = sorted([*errors, *report.findings])
+        project, findings = self.build_project(paths)
+        for rule in self.rules:
+            findings.extend(rule.check_project(project, self.config))
+        report = self._resolve(project, findings)
+        if self.cache is not None:
+            report.cache_hits = self.cache.hits
+            report.cache_misses = self.cache.misses
+            self.cache.save()
         return report
 
     def lint_project(self, project: ProjectContext) -> LintReport:
-        suppressions = {module.relpath: module.suppressions
-                        for module in project.modules}
+        """Run the rules over an already-built project (no cache I/O)."""
         findings: list[Finding] = []
         for rule in self.rules:
             for module in project.modules:
                 findings.extend(rule.check_module(module, self.config))
             findings.extend(rule.check_project(project, self.config))
+        return self._resolve(project, findings)
+
+    def _resolve(self, project: ProjectContext,
+                 findings: list[Finding]) -> LintReport:
+        suppressions = {module.relpath: module.suppressions
+                        for module in project.modules}
         resolved = []
         for finding in findings:
             allowed = suppressions.get(finding.path, {}).get(finding.line, ())
             resolved.append(finding.as_suppressed()
                             if finding.rule in allowed else finding)
+        if self.baseline is not None:
+            resolved = self.baseline.apply(resolved)
         return LintReport(findings=sorted(resolved),
                           modules_checked=len(project.modules),
                           rules_run=tuple(rule.name for rule in self.rules))

@@ -1,14 +1,20 @@
 """Finding and report types shared by the lint engine, rules and reporters.
 
-A :class:`Finding` is one rule violation anchored to a file and line.  The
-engine marks findings whose line carries a ``# repro: allow-<rule>`` comment
-as *suppressed*; they are still collected (so reporters can show them) but do
-not fail the run.
+A :class:`Finding` is one rule violation anchored to a file and line, at one
+of two severities: ``error`` (blocks the run) or ``warning`` (reported but
+never fails the gate).  The engine marks findings whose line carries a
+``# repro: allow-<rule>`` comment as *suppressed* and findings matching the
+checked-in baseline file as *baselined*; both are still collected (so
+reporters can show them) but do not fail the run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+SEVERITIES = (SEVERITY_ERROR, SEVERITY_WARNING)
 
 
 @dataclass(frozen=True, order=True)
@@ -27,13 +33,35 @@ class Finding:
     message: str
     #: True when a ``# repro: allow-<rule>`` comment covers this line.
     suppressed: bool = False
+    #: ``error`` findings gate CI; ``warning`` findings are informational.
+    severity: str = SEVERITY_ERROR
+    #: True when the checked-in baseline grandfathers this finding.
+    baselined: bool = False
 
     def as_suppressed(self) -> "Finding":
         return replace(self, suppressed=True)
 
+    def as_baselined(self) -> "Finding":
+        return replace(self, baselined=True)
+
+    def as_warning(self) -> "Finding":
+        return replace(self, severity=SEVERITY_WARNING)
+
+    @property
+    def blocking(self) -> bool:
+        """True when this finding should fail the run."""
+        return (self.severity == SEVERITY_ERROR and not self.suppressed
+                and not self.baselined)
+
     def render(self) -> str:
-        mark = " (suppressed)" if self.suppressed else ""
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}{mark}"
+        marks = ""
+        if self.severity != SEVERITY_ERROR:
+            marks += f" ({self.severity})"
+        if self.suppressed:
+            marks += " (suppressed)"
+        if self.baselined:
+            marks += " (baselined)"
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}{marks}"
 
 
 @dataclass
@@ -45,6 +73,9 @@ class LintReport:
     modules_checked: int = 0
     #: Names of the rules that ran.
     rules_run: tuple[str, ...] = ()
+    #: Incremental-cache accounting for this run (both zero without a cache).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def unsuppressed(self) -> list[Finding]:
@@ -55,6 +86,25 @@ class LintReport:
         return [finding for finding in self.findings if finding.suppressed]
 
     @property
+    def errors(self) -> list[Finding]:
+        return [finding for finding in self.unsuppressed
+                if finding.severity == SEVERITY_ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [finding for finding in self.unsuppressed
+                if finding.severity == SEVERITY_WARNING]
+
+    @property
+    def blocking(self) -> list[Finding]:
+        """Unsuppressed, non-baselined errors: what actually fails the gate."""
+        return [finding for finding in self.findings if finding.blocking]
+
+    @property
+    def baselined(self) -> list[Finding]:
+        return [finding for finding in self.findings if finding.baselined]
+
+    @property
     def ok(self) -> bool:
-        """True when nothing unsuppressed was found (the CI gate)."""
-        return not self.unsuppressed
+        """True when nothing blocking was found (the CI gate)."""
+        return not self.blocking

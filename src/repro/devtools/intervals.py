@@ -1,0 +1,154 @@
+"""Conservative interval evaluation of AST expressions (for R6).
+
+``interval_of_expr`` maps an expression to a ``(low, high)`` pair when its
+value range is statically provable, or ``None`` when it is not.  Only
+constructs whose bounds are certain are evaluated -- numeric literals,
+unary minus, ``+ - * / // %`` on evaluable operands, ``min``/``max``
+(partial knowledge is kept: ``min(x, 0.5)`` is ``(-inf, 0.5)``), ``abs``,
+and names bound to evaluable module constants or single-assignment locals.
+Everything else is unknown, so the probability-domain rule only ever fires
+on values that are *provably* outside ``[0, 1]``.
+
+Intervals are plain tuples so the project index can serialize them into
+the on-disk cache.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from typing import Mapping
+
+Interval = tuple[float, float]
+
+_INF = math.inf
+
+
+def _mul(a: Interval, b: Interval) -> Interval:
+    products = [a[0] * b[0], a[0] * b[1], a[1] * b[0], a[1] * b[1]]
+    finite = [p for p in products if not math.isnan(p)]
+    return (min(finite), max(finite))
+
+
+def _div(a: Interval, b: Interval) -> Interval | None:
+    if b[0] <= 0.0 <= b[1]:
+        return None  # denominator may be zero: no provable bounds
+    inverted = (1.0 / b[1], 1.0 / b[0])
+    return _mul(a, inverted)
+
+
+def _binop(op: ast.operator, left: Interval,
+           right: Interval) -> Interval | None:
+    if isinstance(op, ast.Add):
+        return (left[0] + right[0], left[1] + right[1])
+    if isinstance(op, ast.Sub):
+        return (left[0] - right[1], left[1] - right[0])
+    if isinstance(op, ast.Mult):
+        return _mul(left, right)
+    if isinstance(op, ast.Div):
+        return _div(left, right)
+    if isinstance(op, ast.FloorDiv):
+        divided = _div(left, right)
+        if divided is None:
+            return None
+        return (math.floor(divided[0]), math.floor(divided[1]))
+    if isinstance(op, ast.Mod):
+        # x % m for m > 0 lies in [0, m); for m < 0 in (m, 0].
+        if right[0] > 0:
+            return (0.0, right[1])
+        if right[1] < 0:
+            return (right[0], 0.0)
+        return None
+    if isinstance(op, ast.Pow):
+        # Only the easy, certain case: non-negative base, constant exponent.
+        if left[0] >= 0 and right[0] == right[1] and right[0] >= 0:
+            return (left[0] ** right[0], left[1] ** right[0])
+        return None
+    return None
+
+
+def interval_of_expr(node: ast.expr,
+                     env: Mapping[str, Interval] | None = None
+                     ) -> Interval | None:
+    """Provable value range of ``node``, or None when unprovable.
+
+    ``env`` maps names (module constants, single-assignment locals) to
+    already-proved intervals.
+    """
+    env = env or {}
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, bool):
+            return (float(node.value), float(node.value))
+        if isinstance(node.value, (int, float)) \
+                and not isinstance(node.value, complex):
+            value = float(node.value)
+            return (value, value)
+        return None
+    if isinstance(node, ast.Name):
+        return env.get(node.id)
+    if isinstance(node, ast.UnaryOp):
+        operand = interval_of_expr(node.operand, env)
+        if operand is None:
+            return None
+        if isinstance(node.op, ast.USub):
+            return (-operand[1], -operand[0])
+        if isinstance(node.op, ast.UAdd):
+            return operand
+        return None
+    if isinstance(node, ast.BinOp):
+        left = interval_of_expr(node.left, env)
+        right = interval_of_expr(node.right, env)
+        if left is None or right is None:
+            return None
+        return _binop(node.op, left, right)
+    if isinstance(node, ast.IfExp):
+        body = interval_of_expr(node.body, env)
+        orelse = interval_of_expr(node.orelse, env)
+        if body is None or orelse is None:
+            return None
+        return (min(body[0], orelse[0]), max(body[1], orelse[1]))
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and not node.keywords:
+        return _call_interval(node.func.id,
+                              [interval_of_expr(arg, env)
+                               for arg in node.args])
+    return None
+
+
+def _call_interval(name: str,
+                   args: list[Interval | None]) -> Interval | None:
+    if not args:
+        return None
+    if name == "abs" and len(args) == 1 and args[0] is not None:
+        low, high = args[0]
+        if low >= 0:
+            return (low, high)
+        if high <= 0:
+            return (-high, -low)
+        return (0.0, max(-low, high))
+    if name in ("float", "int") and len(args) == 1:
+        return args[0]
+    if name == "min":
+        # Every known argument caps the result from above; the floor is
+        # only known when every argument is known.
+        known = [arg for arg in args if arg is not None]
+        if not known:
+            return None
+        high = min(arg[1] for arg in known)
+        low = min(arg[0] for arg in known) if len(known) == len(args) \
+            else -_INF
+        return (low, high)
+    if name == "max":
+        known = [arg for arg in args if arg is not None]
+        if not known:
+            return None
+        low = max(arg[0] for arg in known)
+        high = max(arg[1] for arg in known) if len(known) == len(args) \
+            else _INF
+        return (low, high)
+    return None
+
+
+def provably_outside_unit(interval: Interval) -> bool:
+    """True when every value in ``interval`` is outside ``[0, 1]``."""
+    return interval[0] > 1.0 or interval[1] < 0.0

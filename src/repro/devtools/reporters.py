@@ -12,24 +12,42 @@ def render_text(report: LintReport, *, show_suppressed: bool = False) -> str:
     lines = [finding.render() for finding in report.unsuppressed]
     if show_suppressed:
         lines.extend(finding.render() for finding in report.suppressed)
-    n_bad = len(report.unsuppressed)
+    n_blocking = len(report.blocking)
+    n_warn = len(report.warnings)
+    n_base = len(report.baselined)
     n_ok = len(report.suppressed)
-    summary = (f"{n_bad} finding{'s' if n_bad != 1 else ''}"
-               f" ({n_ok} suppressed) in {report.modules_checked} modules")
-    if n_bad == 0 and not lines:
+    summary = (f"{n_blocking} blocking finding"
+               f"{'s' if n_blocking != 1 else ''}"
+               f" ({n_warn} warnings, {n_base} baselined, {n_ok} suppressed)"
+               f" in {report.modules_checked} modules")
+    if report.cache_hits or report.cache_misses:
+        summary += (f" [cache: {report.cache_hits} hits,"
+                    f" {report.cache_misses} misses]")
+    if not lines:
         return f"OK: {summary}"
     lines.append(summary)
     return "\n".join(lines)
 
 
 def render_json(report: LintReport) -> str:
-    """Stable machine-readable form for CI annotations."""
+    """Stable machine-readable form for CI annotations.
+
+    The schema is pinned by tests/devtools/test_reporters.py; extend it
+    additively and update the golden file in the same change.
+    """
     payload = {
         "modules_checked": report.modules_checked,
         "rules_run": list(report.rules_run),
         "counts": {
             "unsuppressed": len(report.unsuppressed),
             "suppressed": len(report.suppressed),
+            "blocking": len(report.blocking),
+            "warnings": len(report.warnings),
+            "baselined": len(report.baselined),
+        },
+        "cache": {
+            "hits": report.cache_hits,
+            "misses": report.cache_misses,
         },
         "findings": [
             {
@@ -37,7 +55,9 @@ def render_json(report: LintReport) -> str:
                 "line": finding.line,
                 "rule": finding.rule,
                 "message": finding.message,
+                "severity": finding.severity,
                 "suppressed": finding.suppressed,
+                "baselined": finding.baselined,
             }
             for finding in report.findings
         ],

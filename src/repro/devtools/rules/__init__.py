@@ -2,6 +2,9 @@
 
 Importing this package populates the registry: each rule module applies the
 :func:`~repro.devtools.rules.registry.register` decorator at import time.
+R1--R4 are the per-file/per-project families from the first devtools
+iteration; R5--R8 (units, probability domain, rng reachability, experiment
+registry) are the whole-program families that run over the pass-1 index.
 """
 
 from repro.devtools.rules.base import (
@@ -19,8 +22,12 @@ from repro.devtools.rules.registry import (
 # Importing for side effect: these modules register their rules.
 from repro.devtools.rules import api as _api
 from repro.devtools.rules import determinism as _determinism
+from repro.devtools.rules import experiments as _experiments
 from repro.devtools.rules import numeric as _numeric
+from repro.devtools.rules import probability as _probability
 from repro.devtools.rules import protocol as _protocol
+from repro.devtools.rules import reachability as _reachability
+from repro.devtools.rules import units as _units
 
 __all__ = [
     "ModuleContext",

@@ -1,0 +1,144 @@
+"""R8 -- experiment-registry completeness.
+
+Every reproduced table/figure lives in its own module under
+``experiments/``; the CLI's ``EXPERIMENTS`` dict is how anyone (and CI)
+actually runs them, and ``EXPERIMENTS.md`` is where the paper-vs-measured
+comparison is recorded.  A ``fig7.py`` that never gets a CLI entry or a
+doc section is an experiment that silently stops being reproduced.  This
+rule pins the three surfaces to each other:
+
+* every ``experiments/fig*.py`` / ``table*.py`` module must appear as a
+  key of the CLI registry dict (matching key or ``<stem>-...`` variants);
+* every such module must be mentioned in ``EXPERIMENTS.md`` (skipped for
+  fixture trees without a repository root);
+* every registry key must resolve to a callable defined or imported in the
+  CLI module, so a renamed runner cannot leave a dangling entry.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.config import LintConfig, path_matches
+from repro.devtools.findings import Finding
+from repro.devtools.rules.base import ModuleContext, ProjectContext, Rule
+from repro.devtools.rules.registry import register
+
+
+@register
+class ExperimentRegistry(Rule):
+    """fig*/table* modules must be wired into the CLI and the docs."""
+
+    name = "experiment-registry"
+    description = ("every experiments/fig*.py and table*.py must be a key "
+                   "of the CLI EXPERIMENTS registry and mentioned in "
+                   "EXPERIMENTS.md, so no reproduced result can silently "
+                   "drop out of the runnable set")
+
+    def check_project(self, project: ProjectContext,
+                      config: LintConfig) -> Iterable[Finding]:
+        experiment_modules = [
+            module for module in project.modules
+            if self._experiment_stem(module, config) is not None]
+        if not experiment_modules:
+            return
+        cli = next((module for module in project.modules
+                    if path_matches(module.relpath, config.experiment_cli)),
+                   None)
+        keys, registry_line = (None, 1)
+        if cli is not None:
+            keys, registry_line = self._registry_keys(cli, config)
+            if keys is not None:
+                yield from self._check_keys_resolve(cli, keys, registry_line,
+                                                    config)
+        doc_text = None
+        if project.repo_root is not None:
+            doc_path = project.repo_root / config.experiment_doc
+            if doc_path.is_file():
+                doc_text = doc_path.read_text(encoding="utf-8")
+        for module in experiment_modules:
+            stem = self._experiment_stem(module, config)
+            assert stem is not None
+            if keys is not None and not self._wired(stem, keys):
+                yield self.finding(
+                    module, 1,
+                    f"experiment module `{stem}` has no entry in the "
+                    f"`{config.experiment_registry}` registry of "
+                    f"{config.experiment_cli}; it cannot be run from the "
+                    "CLI")
+            if doc_text is not None and stem not in doc_text:
+                yield self.finding(
+                    module, 1,
+                    f"experiment `{stem}` is not mentioned in "
+                    f"{config.experiment_doc}; record how its output "
+                    "compares to the paper")
+
+    @staticmethod
+    def _experiment_stem(module: ModuleContext,
+                         config: LintConfig) -> str | None:
+        parts = module.relpath.split("/")
+        if len(parts) < 2 or parts[-2] != "experiments":
+            return None
+        stem = parts[-1][: -len(".py")]
+        for prefix in config.experiment_stem_prefixes:
+            if stem.startswith(prefix) and stem != prefix:
+                return stem
+        return None
+
+    @staticmethod
+    def _wired(stem: str, keys: list[str]) -> bool:
+        return any(key == stem or key.startswith(stem + "-")
+                   for key in keys)
+
+    @staticmethod
+    def _registry_keys(cli: ModuleContext, config: LintConfig
+                       ) -> tuple[list[str] | None, int]:
+        for node in cli.tree.body:
+            if not (isinstance(node, ast.Assign)
+                    and any(isinstance(t, ast.Name)
+                            and t.id == config.experiment_registry
+                            for t in node.targets)):
+                continue
+            if not isinstance(node.value, ast.Dict):
+                return None, node.lineno
+            keys = [key.value for key in node.value.keys
+                    if isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)]
+            return keys, node.lineno
+        return None, 1
+
+    def _check_keys_resolve(self, cli: ModuleContext, keys: list[str],
+                            line: int, config: LintConfig
+                            ) -> Iterable[Finding]:
+        del keys  # values, not keys, are what must resolve
+        defined: set[str] = set()
+        for node in cli.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                defined.add(node.name)
+            elif isinstance(node, ast.ImportFrom):
+                defined.update(alias.asname or alias.name
+                               for alias in node.names)
+            elif isinstance(node, ast.Import):
+                defined.update((alias.asname or alias.name).split(".")[0]
+                               for alias in node.names)
+        for node in cli.tree.body:
+            if not (isinstance(node, ast.Assign)
+                    and any(isinstance(t, ast.Name)
+                            and t.id == config.experiment_registry
+                            for t in node.targets)
+                    and isinstance(node.value, ast.Dict)):
+                continue
+            for key, value in zip(node.value.keys, node.value.values):
+                if not isinstance(key, ast.Constant):
+                    continue
+                root = value
+                while isinstance(root, ast.Attribute):
+                    root = root.value
+                if isinstance(root, ast.Name) and root.id not in defined:
+                    yield self.finding(
+                        cli, value.lineno,
+                        f"registry entry `{key.value}` points at "
+                        f"`{ast.unparse(value)}`, which is neither defined "
+                        "nor imported in the CLI module")

@@ -1,0 +1,183 @@
+"""R6 -- probability-domain interval analysis.
+
+The protocols thread report probabilities (``p_i = omega / N_i``) through
+many layers -- config objects, estimator state, channel models, sampling
+helpers.  A single value outside ``[0, 1]`` does not crash anything; numpy
+happily draws ``binomial(n, 1.3)``-adjacent nonsense out of downstream
+arithmetic, and the session quietly stops matching Eq. 10/12.  This family
+propagates *provable* value intervals (literals, arithmetic over literals
+and module constants, ``min``/``max`` envelopes -- see
+:mod:`repro.devtools.intervals`) and flags any value that cannot be a
+probability yet flows into a probability-named slot:
+
+* ``probability-domain`` (per module): literal defaults of
+  probability-named parameters and dataclass fields, and assignments of
+  provably out-of-range values to probability-named locals/attributes.
+* ``probability-call`` (whole program): call arguments provably outside
+  ``[0, 1]`` passed to probability-named parameters anywhere in the
+  project, resolved through the pass-1 index.
+
+Unknown intervals never fire; this is a one-sided, zero-false-positive
+check by construction (modulo what "probability-named" catches -- see
+``repro.devtools.units.is_probability_name``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.devtools.config import LintConfig
+from repro.devtools.findings import Finding
+from repro.devtools.intervals import (
+    Interval,
+    interval_of_expr,
+    provably_outside_unit,
+)
+from repro.devtools.rules.base import ModuleContext, ProjectContext, Rule
+from repro.devtools.rules.registry import register
+from repro.devtools.units import is_probability_name
+
+
+def _format(interval: Interval) -> str:
+    if interval[0] == interval[1]:
+        return f"{interval[0]:g}"
+    return f"[{interval[0]:g}, {interval[1]:g}]"
+
+
+@register
+class ProbabilityDomain(Rule):
+    """Probability-named values must stay provably inside [0, 1]."""
+
+    name = "probability-domain"
+    description = ("a probability-named parameter default, field default "
+                   "or assignment provably outside [0, 1] corrupts every "
+                   "downstream draw")
+
+    def check_module(self, module: ModuleContext,
+                     config: LintConfig) -> Iterable[Finding]:
+        constants = _module_constants(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_defaults(module, node, constants)
+            elif isinstance(node, ast.ClassDef):
+                yield from self._check_fields(module, node, constants)
+            elif isinstance(node, ast.Assign):
+                yield from self._check_assign(module, node, constants)
+
+    def _check_defaults(self, module: ModuleContext,
+                        node: ast.FunctionDef | ast.AsyncFunctionDef,
+                        constants: dict[str, Interval]
+                        ) -> Iterator[Finding]:
+        args = node.args
+        positional = [*args.posonlyargs, *args.args]
+        defaults: list[ast.expr | None] = [None] * (
+            len(positional) - len(args.defaults)) + list(args.defaults)
+        pairs = list(zip(positional, defaults)) \
+            + list(zip(args.kwonlyargs, args.kw_defaults))
+        for param, default in pairs:
+            if default is None or not is_probability_name(param.arg):
+                continue
+            interval = interval_of_expr(default, constants)
+            if interval is not None and provably_outside_unit(interval):
+                yield self.finding(
+                    module, default.lineno,
+                    f"`{node.name}` defaults probability parameter "
+                    f"`{param.arg}` to {_format(interval)}, outside [0, 1]")
+
+    def _check_fields(self, module: ModuleContext, node: ast.ClassDef,
+                      constants: dict[str, Interval]) -> Iterator[Finding]:
+        for item in node.body:
+            if not (isinstance(item, ast.AnnAssign) and item.value is not None
+                    and isinstance(item.target, ast.Name)):
+                continue
+            if not is_probability_name(item.target.id):
+                continue
+            interval = interval_of_expr(item.value, constants)
+            if interval is not None and provably_outside_unit(interval):
+                yield self.finding(
+                    module, item.lineno,
+                    f"field `{node.name}.{item.target.id}` defaults to "
+                    f"{_format(interval)}, outside [0, 1]")
+
+    def _check_assign(self, module: ModuleContext, node: ast.Assign,
+                      constants: dict[str, Interval]) -> Iterator[Finding]:
+        names = []
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                names.append(target.id)
+            elif isinstance(target, ast.Attribute):
+                names.append(target.attr)
+        if not any(is_probability_name(name) for name in names):
+            return
+        interval = interval_of_expr(node.value, constants)
+        if interval is not None and provably_outside_unit(interval):
+            name = next(n for n in names if is_probability_name(n))
+            yield self.finding(
+                module, node.lineno,
+                f"probability `{name}` is assigned {_format(interval)}, "
+                "outside [0, 1]")
+
+
+def _module_constants(tree: ast.Module) -> dict[str, Interval]:
+    constants: dict[str, Interval] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name):
+            interval = interval_of_expr(node.value, constants)
+            if interval is not None:
+                constants[node.targets[0].id] = interval
+    return constants
+
+
+@register
+class ProbabilityCallArguments(Rule):
+    """No provably out-of-range value may reach a probability parameter."""
+
+    name = "probability-call"
+    description = ("a call argument provably outside [0, 1] flowing into a "
+                   "probability-named parameter (e.g. the p_i plumbing) "
+                   "silently corrupts the session")
+
+    def check_project(self, project: ProjectContext,
+                      config: LintConfig) -> Iterable[Finding]:
+        index = project.index
+        if index is None:
+            return
+        for module, function in index.all_functions():
+            for call in function.calls:
+                candidates = index.resolve_call(module, function, call)
+                if not candidates:
+                    continue
+                yield from self._check_call(module, call, candidates)
+
+    def _check_call(self, module, call, candidates) -> Iterator[Finding]:
+        verdicts = []
+        for callee in candidates:
+            bad = []
+            positional = [p for p in callee.function.params if not p.kwonly]
+            pairs = []
+            if not call.has_star and not callee.function.has_varargs:
+                pairs.extend((param, arg) for param, arg
+                             in zip(positional, call.args))
+            for name, arg in call.kwargs.items():
+                param = callee.function.param(name)
+                if param is not None:
+                    pairs.append((param, arg))
+            for param, arg in pairs:
+                if param.probability and arg.interval is not None \
+                        and provably_outside_unit(arg.interval):
+                    bad.append((param.name, arg.interval))
+            if not bad and callee.name_based and len(candidates) > 1:
+                return  # some same-named method accepts the value
+            verdicts.append(bad)
+        agreed = verdicts[0]
+        for other in verdicts[1:]:
+            agreed = [entry for entry in agreed if entry in other]
+        for param_name, interval in agreed:
+            yield self.finding(
+                module.relpath, call.lineno,
+                f"`{call.raw}(...)` passes {_format(interval)} to "
+                f"probability parameter `{param_name}` of "
+                f"`{candidates[0].function.qualname}`; probabilities must "
+                "lie in [0, 1]")

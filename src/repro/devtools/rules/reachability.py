@@ -1,0 +1,92 @@
+"""R7 -- whole-program RNG reachability.
+
+R1 polices randomness per file: no global state, Generators minted only in
+the seed entry points, ``rng`` parameters annotated.  What a per-file rule
+cannot see is a *stochastic orphan*: a function that takes an ``rng`` but
+is never on any call path from a place that actually mints one.  Orphans
+are either dead stochastic code or -- worse -- code wired around the
+seeding discipline (a caller somewhere fabricating its own Generator would
+be caught by R1, but a caller passing something else entirely would not).
+
+The rule walks the pass-1 call graph.  **Roots** are functions (or module
+top-level code) that call a Generator factory (``default_rng`` /
+``SeedSequence``) or a designated mint helper (``rng_from_seed``), plus any
+``module:qualname`` listed in ``LintConfig.rng_public_roots`` (public
+stochastic APIs whose callers live outside the scanned tree).  Every
+function with an ``rng`` parameter must be reachable from a root.  Method
+calls resolve name-based (every class's ``read_all`` is a candidate target
+of ``protocol.read_all(...)``), which over-approximates reachability --
+exactly the conservative direction: a reported orphan really has no caller
+chain back to a seed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.devtools.config import LintConfig, path_matches
+from repro.devtools.findings import Finding
+from repro.devtools.index import MODULE_SCOPE, ProjectIndex
+from repro.devtools.rules.base import ProjectContext, Rule
+from repro.devtools.rules.registry import register
+
+
+@register
+class RngReachability(Rule):
+    """Every rng-taking function must be reachable from a seed root."""
+
+    name = "rng-reachability"
+    description = ("a function taking `rng` that no seed entry point can "
+                   "reach is a stochastic orphan: dead code or a path "
+                   "wired around the seeding discipline")
+
+    def check_project(self, project: ProjectContext,
+                      config: LintConfig) -> Iterable[Finding]:
+        index = project.index
+        if index is None:
+            return
+        roots = self._roots(index, config)
+        reachable = self._reachable(index, roots)
+        entry_points = ", ".join(config.rng_entry_points)
+        for module, function in index.all_functions():
+            if not function.has_rng_param:
+                continue
+            path = f"{module.dotted}:{function.qualname}"
+            if path in reachable:
+                continue
+            yield self.finding(
+                module.relpath, function.lineno,
+                f"stochastic function `{function.qualname}` takes `rng` "
+                "but is unreachable from every seed entry point "
+                f"({entry_points}); wire it into a seeded path, or list it "
+                "in LintConfig.rng_public_roots if outside callers drive it")
+
+    def _roots(self, index: ProjectIndex, config: LintConfig) -> set[str]:
+        factories = set(config.rng_factories)
+        helpers = set(config.rng_mint_helpers)
+        roots = set(config.rng_public_roots)
+        for module, function in index.all_functions():
+            minted = any(
+                call.raw.rsplit(".", 1)[-1] in factories
+                or call.raw.rsplit(".", 1)[-1] in helpers
+                for call in function.calls)
+            entry_module = any(path_matches(module.relpath, entry)
+                               for entry in config.rng_entry_points)
+            if minted or (entry_module
+                          and function.qualname == MODULE_SCOPE):
+                roots.add(f"{module.dotted}:{function.qualname}")
+        return roots
+
+    @staticmethod
+    def _reachable(index: ProjectIndex, roots: set[str]) -> set[str]:
+        edges = index.call_graph()
+        seen = set(roots)
+        queue = deque(root for root in roots if root in edges)
+        while queue:
+            source = queue.popleft()
+            for target in edges.get(source, ()):
+                if target not in seen:
+                    seen.add(target)
+                    queue.append(target)
+        return seen

@@ -1,0 +1,192 @@
+"""R5 -- units/dimension analysis.
+
+``air/timing.py`` hands out seconds, protocols count slots, announcement
+budgets are bits; all three are plain floats/ints at runtime, so a mixed-up
+argument (guard *time* where a bit *count* belongs) changes Table I without
+any exception.  Names are classified into quantity kinds by the conventions
+and registry in :mod:`repro.devtools.units`; this module flags the two
+provable mistakes:
+
+* ``units-arithmetic`` (per module): ``+``/``-`` whose operands have
+  *different* hard kinds -- adding seconds to bits never means anything.
+* ``units-call`` (whole program): a call argument whose inferred kind
+  contradicts the callee parameter's kind, resolved through the pass-1
+  project index (aliases, ``self``-methods, annotated receivers, dataclass
+  constructors).  Probability-typed parameters reject hard-kind arguments
+  too: a duration is never a report probability.
+
+Only provable mismatches fire; unclassified names never do.  When a name's
+convention-derived kind is wrong, register the true kind in
+``repro/devtools/units.py`` instead of suppressing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.devtools.config import LintConfig, path_has_dir
+from repro.devtools.findings import Finding
+from repro.devtools.index import (
+    ArgInfo,
+    Callee,
+    CallInfo,
+    FunctionInfo,
+    ModuleIndex,
+    kind_of_expr,
+)
+from repro.devtools.rules.base import ModuleContext, ProjectContext, Rule
+from repro.devtools.rules.registry import register
+from repro.devtools.units import HARD_KINDS, kind_of_qualified
+
+import ast
+
+
+def _in_units_scope(relpath: str, config: LintConfig) -> bool:
+    return any(path_has_dir(relpath, d) for d in config.units_dirs)
+
+
+@register
+class UnitsArithmetic(Rule):
+    """No ``+``/``-`` across different quantity kinds."""
+
+    name = "units-arithmetic"
+    description = ("adding or subtracting different quantity kinds "
+                   "(seconds/bits/slots) is a dimension error; convert "
+                   "explicitly via the timing model")
+
+    def check_module(self, module: ModuleContext,
+                     config: LintConfig) -> Iterable[Finding]:
+        if not _in_units_scope(module.relpath, config):
+            return
+        for scope_name, scope, param_kinds in _function_scopes(module):
+            mismatches: list[tuple[ast.BinOp, str, str]] = []
+            for statement in scope:
+                for expr in _statement_exprs(statement):
+                    kind_of_expr(expr, param_kinds, mismatches)
+            for node, left, right in mismatches:
+                operator = "+" if isinstance(node.op, ast.Add) else "-"
+                yield self.finding(
+                    module, node.lineno,
+                    f"`{ast.unparse(node)}` mixes {left} {operator} {right}"
+                    f" in `{scope_name}`; operands of +/- must share a "
+                    "quantity kind")
+
+
+def _function_scopes(module: ModuleContext) -> Iterator[
+        tuple[str, list[ast.stmt], dict[str, str | None]]]:
+    """Yield (name, body, param kinds) per function/method, plus module."""
+    dotted = module.dotted_name
+    top_level = [node for node in module.tree.body
+                 if not isinstance(node, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef,
+                                          ast.ClassDef))]
+    if top_level:
+        yield "<module>", top_level, {}
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.name, node.body, _param_kinds(dotted, node.name, node)
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qualname = f"{node.name}.{item.name}"
+                    yield (qualname, item.body,
+                           _param_kinds(dotted, qualname, item))
+
+
+def _param_kinds(dotted: str, qualname: str,
+                 node: ast.FunctionDef | ast.AsyncFunctionDef
+                 ) -> dict[str, str | None]:
+    kinds: dict[str, str | None] = {}
+    args = node.args
+    for param in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+        if param.arg in ("self", "cls"):
+            continue
+        kinds[param.arg] = kind_of_qualified(
+            f"{dotted}.{qualname}.{param.arg}")
+    return kinds
+
+
+def _statement_exprs(statement: ast.stmt) -> Iterator[ast.expr]:
+    """Top-level expressions of one statement (bodies handled separately).
+
+    Nested function/class definitions are *not* descended into here; their
+    bodies come back through :func:`_function_scopes` or, for closures, are
+    walked with the enclosing function's parameter kinds.
+    """
+    for node in ast.iter_child_nodes(statement):
+        if isinstance(node, ast.expr):
+            yield node
+        elif isinstance(node, ast.stmt):
+            yield from _statement_exprs(node)
+
+
+@register
+class UnitsCallArguments(Rule):
+    """Call arguments must match the callee parameter's quantity kind."""
+
+    name = "units-call"
+    description = ("an argument whose quantity kind (seconds/bits/slots) "
+                   "contradicts the callee parameter's kind is a "
+                   "cross-module dimension error")
+
+    def check_project(self, project: ProjectContext,
+                      config: LintConfig) -> Iterable[Finding]:
+        index = project.index
+        if index is None:
+            return
+        for module, function in index.all_functions():
+            if not _in_units_scope(module.relpath, config):
+                continue
+            for call in function.calls:
+                candidates = index.resolve_call(module, function, call)
+                yield from self._check_call(module, call, candidates)
+
+    def _check_call(self, module: ModuleIndex, call: CallInfo,
+                    candidates: list[Callee]) -> Iterator[Finding]:
+        verdicts: list[list[tuple[str, str, str | None]]] = []
+        for callee in candidates:
+            mismatches = list(_call_mismatches(call, callee.function))
+            if callee.name_based and len(candidates) > 1 and not mismatches:
+                # Several same-named methods and at least one accepts the
+                # call: give the call the benefit of the doubt.
+                return
+            verdicts.append(mismatches)
+        if not verdicts:
+            return
+        # With several candidates, only report mismatches every candidate
+        # agrees on (pure name-based matches can be the wrong function).
+        agreed = verdicts[0]
+        for other in verdicts[1:]:
+            agreed = [entry for entry in agreed if entry in other]
+        for param_name, arg_kind, param_kind in agreed:
+            target = candidates[0].function.qualname
+            expected = param_kind or "a probability in [0, 1]"
+            yield self.finding(
+                module.relpath, call.lineno,
+                f"`{call.raw}(...)` passes a {arg_kind}-kind value to "
+                f"parameter `{param_name}` of `{target}`, which expects "
+                f"{expected}")
+
+
+def _call_mismatches(call: CallInfo, callee: FunctionInfo
+                     ) -> Iterator[tuple[str, str, str | None]]:
+    """(param, arg kind, param kind) per provable kind contradiction."""
+    positional = [p for p in callee.params if not p.kwonly]
+    pairs: list[tuple[str, ArgInfo]] = []
+    if not call.has_star and not callee.has_varargs:
+        for param, arg in zip(positional, call.args):
+            pairs.append((param.name, arg))
+    for name, arg in call.kwargs.items():
+        param = callee.param(name)
+        if param is not None:
+            pairs.append((name, arg))
+    for name, arg in pairs:
+        param = callee.param(name)
+        if param is None or arg.kind is None:
+            continue
+        if arg.kind not in HARD_KINDS:
+            continue
+        if param.kind in HARD_KINDS and param.kind != arg.kind:
+            yield (name, arg.kind, param.kind)
+        elif param.probability:
+            yield (name, arg.kind, None)

@@ -1,0 +1,144 @@
+"""Quantity-kind registry for the R5 units analysis (and R6's name matcher).
+
+The simulator moves three physical quantities across call boundaries --
+**seconds** (durations, ``air/timing.py``), **bits** (payload sizes) and
+**slots** (frame/slot counts) -- plus dimensionless ratios such as report
+probabilities.  Mixing them compiles fine and silently corrupts Table I, so
+the analyzer classifies every parameter, attribute and local it can and
+flags provably mixed arithmetic and call arguments.
+
+Classification has two layers:
+
+* **naming conventions** -- a name's ``_``-separated tokens are scanned
+  right to left and the first recognized token decides the kind
+  (``slot_duration`` -> ``duration`` -> seconds; ``index_bits`` -> bits;
+  ``max_slots`` -> slots).  Unrecognized names stay unclassified, which is
+  always safe: the rules only fire on *provable* mismatches.
+* **the explicit annotation registry** below -- qualified overrides for
+  names whose convention-derived kind would be wrong or missing.  Entries
+  are ``"<module>.<Class>.<func>.<param>"`` (or shorter suffixes; matching
+  is suffix-based on dotted segments) mapped to a kind or ``None`` to
+  force-unclassify.
+
+Probability-typed names (the R6 domain) are matched here too so the two
+rule families agree on what a probability is.
+"""
+
+from __future__ import annotations
+
+KIND_SECONDS = "seconds"
+KIND_BITS = "bits"
+KIND_SLOTS = "slots"
+KIND_DIMENSIONLESS = "dimensionless"
+
+#: Kinds whose mixture in ``+``/``-`` or across a call boundary is an error.
+HARD_KINDS = frozenset({KIND_SECONDS, KIND_BITS, KIND_SLOTS})
+
+#: Name tokens -> kind, applied right-to-left over ``_``-split tokens.
+TOKEN_KINDS: dict[str, str] = {
+    "seconds": KIND_SECONDS,
+    "secs": KIND_SECONDS,
+    "sec": KIND_SECONDS,
+    "duration": KIND_SECONDS,
+    "durations": KIND_SECONDS,
+    "time": KIND_SECONDS,
+    "times": KIND_SECONDS,
+    "elapsed": KIND_SECONDS,
+    "bits": KIND_BITS,
+    "slots": KIND_SLOTS,
+    "probability": KIND_DIMENSIONLESS,
+    "prob": KIND_DIMENSIONLESS,
+}
+
+#: ``_s`` is a seconds suffix (``presession_s``) but only as a *suffix*
+#: token, never as a whole name.
+SUFFIX_ONLY_TOKEN_KINDS: dict[str, str] = {
+    "s": KIND_SECONDS,
+}
+
+#: Explicit annotation registry: dotted-suffix -> kind (or None to opt a
+#: name out of classification entirely).  Keep entries rare; prefer naming
+#: things so the convention layer gets them right.
+QUALIFIED_KINDS: dict[str, str | None] = {
+    # `TimingModel.transmission_time(bits)` / `announcement_duration(...,
+    # bits_each)` take bit *counts*; the convention already agrees, these
+    # pin the core timing contract explicitly.
+    "repro.air.timing.TimingModel.transmission_time.bits": KIND_BITS,
+    "repro.air.timing.TimingModel.announcement_duration.bits_each": KIND_BITS,
+    "repro.air.timing.TimingModel.session_seconds.slots": KIND_SLOTS,
+    # `time.time()` returns a wall-clock stamp, not a simulated duration;
+    # the CLI's elapsed arithmetic is wall-clock bookkeeping, not model
+    # time, but its kind is still seconds -- leave convention in force.
+}
+
+#: Whole names that must never be classified (convention false friends).
+IGNORED_NAMES = frozenset({
+    "time",       # usually the stdlib module, not a duration
+    "datetime",
+})
+
+#: Parameter/variable names that denote probabilities when no hard kind
+#: claims the name first (`probability_bits` is bits, not a probability).
+PROBABILITY_NAMES = frozenset({"p", "p_i", "q_probability"})
+PROBABILITY_TOKENS = frozenset({"prob", "probability", "probabilities"})
+
+
+def name_tokens(name: str) -> list[str]:
+    return [token for token in name.lower().split("_") if token]
+
+
+def kind_of_name(name: str) -> str | None:
+    """Convention-layer classification of one bare name (or attribute)."""
+    if name in IGNORED_NAMES:
+        return None
+    tokens = name_tokens(name)
+    for position, token in enumerate(reversed(tokens)):
+        kind = TOKEN_KINDS.get(token)
+        if kind is not None:
+            return kind
+        if position == 0 and len(tokens) > 1:
+            kind = SUFFIX_ONLY_TOKEN_KINDS.get(token)
+            if kind is not None:
+                return kind
+    return None
+
+
+def registered_kind(qualified: str) -> str | None | bool:
+    """Registry lookup by dotted suffix; ``False`` means "no entry".
+
+    ``qualified`` is e.g. ``repro.air.timing.TimingModel.transmission_time.
+    bits``; any entry that is a whole-segment suffix of it wins (longest
+    entry first, so more specific overrides beat generic ones).
+    """
+    matches = [entry for entry in QUALIFIED_KINDS
+               if qualified == entry or qualified.endswith("." + entry)]
+    if not matches:
+        return False
+    best = max(matches, key=len)
+    return QUALIFIED_KINDS[best]
+
+
+def kind_of_qualified(qualified: str) -> str | None:
+    """Kind of a fully qualified parameter/attribute name.
+
+    Registry entries override the naming convention; the convention is
+    applied to the last dotted segment.
+    """
+    registered = registered_kind(qualified)
+    if registered is not False:
+        return registered
+    return kind_of_name(qualified.rsplit(".", 1)[-1])
+
+
+def is_probability_name(name: str) -> bool:
+    """True when ``name`` denotes a probability by convention.
+
+    A hard quantity kind always wins: ``probability_bits`` advertises the
+    *width* of the quantized probability field, so it is bits, not a
+    probability.
+    """
+    if kind_of_name(name) in HARD_KINDS:
+        return False
+    if name in PROBABILITY_NAMES:
+        return True
+    return bool(PROBABILITY_TOKENS.intersection(name_tokens(name)))

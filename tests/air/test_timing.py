@@ -63,6 +63,18 @@ class TestValidation:
         with pytest.raises(ValueError):
             TimingModel(guard_time=-1e-6)
 
+    def test_rejects_bad_advertisement_bits(self):
+        """index_bits/probability_bits used to escape __post_init__; a zero
+        value silently made every advertisement (partly) free."""
+        with pytest.raises(ValueError):
+            TimingModel(index_bits=0)
+        with pytest.raises(ValueError):
+            TimingModel(index_bits=-23)
+        with pytest.raises(ValueError):
+            TimingModel(probability_bits=0)
+        with pytest.raises(ValueError):
+            ICODE_TIMING.with_(probability_bits=-16)
+
     def test_with_returns_modified_copy(self):
         faster = ICODE_TIMING.with_(bit_rate=106_000.0)
         assert faster.bit_rate == 106_000.0

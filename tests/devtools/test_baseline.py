@@ -1,0 +1,71 @@
+"""The grandfather baseline: matching, round-trip, engine integration."""
+
+from __future__ import annotations
+
+from repro.devtools import Baseline, Finding, LintEngine
+
+BAD = """\
+    def check(p, log=[]):
+        return p == 1.0
+    """
+
+RULES = ("float-equality", "mutable-default")
+
+
+def _finding(line=2, message="boom"):
+    return Finding(path="repro/core/a.py", line=line, rule="float-equality",
+                   message=message)
+
+
+class TestBaselineMatching:
+    def test_matches_on_path_rule_message_not_line(self):
+        baseline = Baseline.from_findings([_finding(line=2)])
+        assert baseline.matches(_finding(line=99))
+        assert not baseline.matches(_finding(message="different"))
+
+    def test_apply_marks_matches_and_leaves_the_rest(self):
+        baseline = Baseline.from_findings([_finding()])
+        out = baseline.apply([_finding(), _finding(message="fresh")])
+        assert [f.baselined for f in out] == [True, False]
+
+    def test_suppressed_findings_are_not_double_marked(self):
+        baseline = Baseline.from_findings([_finding()])
+        out = baseline.apply([_finding().as_suppressed()])
+        assert out[0].suppressed and not out[0].baselined
+
+
+class TestBaselineRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([_finding()]).write(path)
+        assert Baseline.load(path).matches(_finding())
+
+    def test_missing_and_corrupt_files_load_empty(self, tmp_path):
+        assert Baseline.load(tmp_path / "nope.json").entries == set()
+        bad = tmp_path / "bad.json"
+        bad.write_text("{oops", encoding="utf-8")
+        assert Baseline.load(bad).entries == set()
+
+
+class TestEngineIntegration:
+    def test_baselined_findings_do_not_block(self, tree):
+        tree.write("repro/core/a.py", BAD)
+        strict = LintEngine(select=RULES).lint_paths([tree.root])
+        assert not strict.ok
+        baseline = Baseline.from_findings(strict.blocking)
+        report = LintEngine(select=RULES,
+                            baseline=baseline).lint_paths([tree.root])
+        assert report.ok
+        assert len(report.baselined) == 2
+
+    def test_fresh_findings_still_block_alongside_baselined(self, tree):
+        tree.write("repro/core/a.py", BAD)
+        baseline = Baseline.from_findings(
+            LintEngine(select=RULES).lint_paths([tree.root]).blocking)
+        tree.write("repro/core/b.py", "import random\n")
+        report = LintEngine(
+            select=(*RULES, "no-import-random"),
+            baseline=baseline).lint_paths([tree.root])
+        assert not report.ok
+        assert [f.rule for f in report.blocking] == ["no-import-random"]
+        assert len(report.baselined) == 2

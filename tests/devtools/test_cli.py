@@ -22,7 +22,7 @@ def bad_tree(tree):
 def test_exit_zero_on_clean_tree(tree, capsys):
     tree.write("repro/core/fine.py", "X = 1\n")
     assert main([str(tree.root)]) == 0
-    assert "OK: 0 findings" in capsys.readouterr().out
+    assert "OK: 0 blocking findings" in capsys.readouterr().out
 
 
 def test_exit_one_on_findings(bad_tree, capsys):

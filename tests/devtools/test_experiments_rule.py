@@ -1,0 +1,61 @@
+"""R8: experiment-registry completeness."""
+
+from __future__ import annotations
+
+CLI_WITH = """\
+    from repro.experiments.fig9 import run_fig9
+
+    EXPERIMENTS = {"fig9": run_fig9}
+    """
+
+CLI_WITHOUT = """\
+    EXPERIMENTS = {}
+    """
+
+
+class TestExperimentRegistry:
+    def test_unwired_experiment_module_is_flagged(self, tree):
+        tree.write("repro/experiments/fig9.py", "def run_fig9():\n    pass\n")
+        tree.write("repro/experiments/cli.py", CLI_WITHOUT)
+        assert tree.rule_findings("experiment-registry") == [
+            "repro/experiments/fig9.py:1 experiment-registry"]
+
+    def test_wired_experiment_is_fine(self, tree):
+        tree.write("repro/experiments/fig9.py", "def run_fig9():\n    pass\n")
+        tree.write("repro/experiments/cli.py", CLI_WITH)
+        assert tree.rule_findings("experiment-registry") == []
+
+    def test_variant_keys_count_as_wired(self, tree):
+        tree.write("repro/experiments/table9.py", "def go():\n    pass\n")
+        tree.write("repro/experiments/cli.py", """\
+            from repro.experiments.table9 import go
+
+            EXPERIMENTS = {"table9-small": go, "table9-paper": go}
+            """)
+        assert tree.rule_findings("experiment-registry") == []
+
+    def test_dangling_registry_value_is_flagged(self, tree):
+        tree.write("repro/experiments/fig9.py", "def run_fig9():\n    pass\n")
+        tree.write("repro/experiments/cli.py", """\
+            from repro.experiments.fig9 import run_fig9
+
+            EXPERIMENTS = {"fig9": run_fig9, "fig10": run_fig10}
+            """)
+        assert tree.rule_findings("experiment-registry") == [
+            "repro/experiments/cli.py:3 experiment-registry"]
+
+    def test_non_experiment_modules_are_ignored(self, tree):
+        tree.write("repro/experiments/helpers.py", "def util():\n    pass\n")
+        tree.write("repro/experiments/cli.py", CLI_WITHOUT)
+        assert tree.rule_findings("experiment-registry") == []
+
+    def test_suppression_comment_is_honoured(self, tree):
+        tree.write("repro/experiments/fig9.py", """\
+            # repro: allow-experiment-registry -- test sentinel
+            def run_fig9():
+                pass
+            """)
+        tree.write("repro/experiments/cli.py", CLI_WITHOUT)
+        report = tree.lint("experiment-registry")
+        assert report.ok
+        assert [f.rule for f in report.suppressed] == ["experiment-registry"]

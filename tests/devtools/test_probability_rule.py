@@ -1,0 +1,114 @@
+"""R6: probability-domain interval analysis."""
+
+from __future__ import annotations
+
+
+class TestProbabilityDomain:
+    def test_default_above_one_is_flagged(self, tree):
+        tree.write("repro/core/sampler.py", """\
+            def bernoulli(n, p=1.5):
+                return n * p
+            """)
+        assert tree.rule_findings("probability-domain") == [
+            "repro/core/sampler.py:1 probability-domain"]
+
+    def test_negative_dataclass_field_default_is_flagged(self, tree):
+        tree.write("repro/core/config.py", """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class Config:
+                p_i: float = -0.25
+            """)
+        assert tree.rule_findings("probability-domain") == [
+            "repro/core/config.py:5 probability-domain"]
+
+    def test_provably_bad_assignment_is_flagged(self, tree):
+        tree.write("repro/core/flow.py", """\
+            SCALE = 3.0
+
+            def adjust(state):
+                state.collision_probability = 0.5 * SCALE
+                return state
+            """)
+        assert tree.rule_findings("probability-domain") == [
+            "repro/core/flow.py:4 probability-domain"]
+
+    def test_in_range_and_unknown_values_are_fine(self, tree):
+        tree.write("repro/core/fine.py", """\
+            def bernoulli(n, p=0.5):
+                p_i = min(p * 2.0, 1.0)
+                q_probability = n  # unknown interval: never flagged
+                return p_i, q_probability
+            """)
+        assert tree.rule_findings("probability-domain") == []
+
+    def test_non_probability_names_are_ignored(self, tree):
+        tree.write("repro/core/fine.py", """\
+            def scale(n, gain=3.5):
+                factor = 2.5
+                return n * gain * factor
+            """)
+        assert tree.rule_findings("probability-domain") == []
+
+    def test_suppression_comment_is_honoured(self, tree):
+        tree.write("repro/core/sampler.py", """\
+            def bernoulli(n, p=1.5):  # repro: allow-probability-domain -- test sentinel
+                return n * p
+            """)
+        report = tree.lint("probability-domain")
+        assert report.ok
+        assert [f.rule for f in report.suppressed] == ["probability-domain"]
+
+
+class TestProbabilityCall:
+    def test_literal_out_of_range_argument_is_flagged(self, tree):
+        tree.write("repro/core/sampler.py", """\
+            def bernoulli(n, p):
+                return n * p
+
+            def go(n):
+                return bernoulli(n, 1.5)
+            """)
+        assert tree.rule_findings("probability-call") == [
+            "repro/core/sampler.py:5 probability-call"]
+
+    def test_cross_module_keyword_argument_is_flagged(self, tree):
+        tree.write("repro/core/sampler.py", """\
+            def bernoulli(n, p=0.5):
+                return n * p
+            """)
+        tree.write("repro/sim/driver.py", """\
+            from repro.core.sampler import bernoulli
+
+            OVERDRIVE = 2.0
+
+            def run(n):
+                return bernoulli(n, p=OVERDRIVE)
+            """)
+        assert tree.rule_findings("probability-call") == [
+            "repro/sim/driver.py:6 probability-call"]
+
+    def test_in_range_and_unknown_arguments_are_fine(self, tree):
+        tree.write("repro/core/sampler.py", """\
+            def bernoulli(n, p):
+                return n * p
+
+            def go(n, load):
+                bernoulli(n, 0.75)
+                bernoulli(n, min(load, 1.0))
+                return bernoulli(n, load)
+            """)
+        assert tree.rule_findings("probability-call") == []
+
+    def test_suppression_comment_is_honoured(self, tree):
+        tree.write("repro/core/sampler.py", """\
+            def bernoulli(n, p):
+                return n * p
+
+            def go(n):
+                return bernoulli(n, 1.5)  # repro: allow-probability-call -- test sentinel
+            """)
+        report = tree.lint("probability-call")
+        assert report.ok
+        assert [f.rule for f in report.suppressed] == ["probability-call"]

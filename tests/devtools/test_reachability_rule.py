@@ -1,0 +1,90 @@
+"""R7: whole-program RNG reachability over the call graph."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.devtools import DEFAULT_CONFIG, LintEngine
+
+
+class TestRngReachability:
+    def test_orphan_stochastic_function_is_flagged(self, tree):
+        tree.write("repro/core/lonely.py", """\
+            def draw(rng):
+                return rng.random()
+            """)
+        assert tree.rule_findings("rng-reachability") == [
+            "repro/core/lonely.py:1 rng-reachability"]
+
+    def test_function_wired_to_a_minting_root_is_fine(self, tree):
+        tree.write("repro/core/wired.py", """\
+            def draw(rng):
+                return rng.random()
+            """)
+        tree.write("repro/sim/base.py", """\
+            import numpy as np
+
+            from repro.core.wired import draw
+
+            def run(seed):
+                rng = np.random.default_rng(seed)
+                return draw(rng)
+            """)
+        assert tree.rule_findings("rng-reachability") == []
+
+    def test_transitive_reachability_through_methods(self, tree):
+        tree.write("repro/core/proto.py", """\
+            class Protocol:
+                def read_all(self, population, rng):
+                    return self.step(population, rng)
+
+                def step(self, population, rng):
+                    return rng.random()
+            """)
+        tree.write("repro/sim/base.py", """\
+            import numpy as np
+
+            from repro.core.proto import Protocol
+
+            def run(seed):
+                rng = np.random.default_rng(seed)
+                return Protocol().read_all([], rng)
+            """)
+        assert tree.rule_findings("rng-reachability") == []
+
+    def test_mint_helper_roots_the_walk(self, tree):
+        tree.write("repro/core/wired.py", """\
+            def draw(rng):
+                return rng.random()
+            """)
+        tree.write("repro/experiments/runner.py", """\
+            from repro.core.wired import draw
+
+            def run_cell(seed):
+                rng = rng_from_seed(seed)
+                return draw(rng)
+            """)
+        assert tree.rule_findings("rng-reachability") == []
+
+    def test_rng_public_roots_config_exempts_a_function(self, tree):
+        tree.write("repro/core/lonely.py", """\
+            def draw(rng):
+                return rng.random()
+            """)
+        config = replace(
+            DEFAULT_CONFIG,
+            rng_public_roots=("repro.core.lonely:draw",))
+        report = LintEngine(config=config,
+                            select=("rng-reachability",)).lint_paths(
+                                [tree.root])
+        assert report.ok
+
+    def test_suppression_comment_is_honoured(self, tree):
+        tree.write("repro/core/lonely.py", """\
+            # repro: allow-rng-reachability -- test sentinel
+            def draw(rng):
+                return rng.random()
+            """)
+        report = tree.lint("rng-reachability")
+        assert report.ok
+        assert [f.rule for f in report.suppressed] == ["rng-reachability"]

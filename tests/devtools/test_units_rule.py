@@ -1,0 +1,138 @@
+"""R5: units/dimension analysis (units-arithmetic, units-call)."""
+
+from __future__ import annotations
+
+
+class TestUnitsArithmetic:
+    def test_adding_seconds_to_bits_is_flagged(self, tree):
+        tree.write("repro/core/mix.py", """\
+            def total(slot_duration, index_bits):
+                return slot_duration + index_bits
+            """)
+        assert tree.rule_findings("units-arithmetic") == [
+            "repro/core/mix.py:2 units-arithmetic"]
+
+    def test_subtracting_slots_from_seconds_is_flagged(self, tree):
+        tree.write("repro/core/mix.py", """\
+            def left(total_time, n_slots):
+                return total_time - n_slots
+            """)
+        assert tree.rule_findings("units-arithmetic") == [
+            "repro/core/mix.py:2 units-arithmetic"]
+
+    def test_same_kind_and_scaling_arithmetic_is_fine(self, tree):
+        tree.write("repro/core/fine.py", """\
+            def session(slot_duration, guard_time, n_slots, index_bits):
+                total_time = guard_time + slot_duration * n_slots
+                overhead_bits = index_bits + 7 * index_bits
+                return total_time, overhead_bits
+
+            def ratio(busy_seconds, total_seconds):
+                return busy_seconds / total_seconds
+            """)
+        assert tree.rule_findings("units-arithmetic") == []
+
+    def test_unclassified_names_never_fire(self, tree):
+        tree.write("repro/core/fine.py", """\
+            def mystery(foo, bar, slot_duration):
+                return foo + bar + slot_duration
+            """)
+        assert tree.rule_findings("units-arithmetic") == []
+
+    def test_outside_units_dirs_is_ignored(self, tree):
+        tree.write("repro/experiments/mix.py", """\
+            def total(slot_duration, index_bits):
+                return slot_duration + index_bits
+            """)
+        assert tree.rule_findings("units-arithmetic") == []
+
+    def test_suppression_comment_is_honoured(self, tree):
+        tree.write("repro/core/mix.py", """\
+            def total(slot_duration, index_bits):
+                return slot_duration + index_bits  # repro: allow-units-arithmetic -- test sentinel
+            """)
+        report = tree.lint("units-arithmetic")
+        assert report.ok
+        assert [f.rule for f in report.suppressed] == ["units-arithmetic"]
+
+
+class TestUnitsCall:
+    def test_bits_passed_to_seconds_parameter_across_modules(self, tree):
+        tree.write("repro/air/clock.py", """\
+            def wait(delay_seconds):
+                return delay_seconds
+            """)
+        tree.write("repro/core/caller.py", """\
+            from repro.air.clock import wait
+
+            def go(frame_bits):
+                return wait(frame_bits)
+            """)
+        assert tree.rule_findings("units-call") == [
+            "repro/core/caller.py:4 units-call"]
+
+    def test_keyword_argument_kind_is_checked(self, tree):
+        tree.write("repro/air/clock.py", """\
+            def wait(delay_seconds=0.0):
+                return delay_seconds
+            """)
+        tree.write("repro/core/caller.py", """\
+            from repro.air.clock import wait
+
+            def go(n_slots):
+                return wait(delay_seconds=n_slots)
+            """)
+        assert tree.rule_findings("units-call") == [
+            "repro/core/caller.py:4 units-call"]
+
+    def test_hard_kind_into_probability_parameter(self, tree):
+        tree.write("repro/core/sampler.py", """\
+            def bernoulli(p):
+                return p
+
+            def go(index_bits):
+                return bernoulli(index_bits)
+            """)
+        assert tree.rule_findings("units-call") == [
+            "repro/core/sampler.py:5 units-call"]
+
+    def test_matching_kinds_are_fine(self, tree):
+        tree.write("repro/air/clock.py", """\
+            def wait(delay_seconds):
+                return delay_seconds
+            """)
+        tree.write("repro/core/caller.py", """\
+            from repro.air.clock import wait
+
+            def go(slot_duration, unknown):
+                wait(slot_duration)
+                return wait(unknown)
+            """)
+        assert tree.rule_findings("units-call") == []
+
+    def test_method_call_through_annotated_receiver(self, tree):
+        tree.write("repro/air/clock.py", """\
+            class Clock:
+                def wait(self, delay_seconds):
+                    return delay_seconds
+            """)
+        tree.write("repro/core/caller.py", """\
+            from repro.air.clock import Clock
+
+            def go(clock: Clock, n_bits):
+                return clock.wait(n_bits)
+            """)
+        assert tree.rule_findings("units-call") == [
+            "repro/core/caller.py:4 units-call"]
+
+    def test_suppression_comment_is_honoured(self, tree):
+        tree.write("repro/core/sampler.py", """\
+            def bernoulli(p):
+                return p
+
+            def go(index_bits):
+                return bernoulli(index_bits)  # repro: allow-units-call -- test sentinel
+            """)
+        report = tree.lint("units-call")
+        assert report.ok
+        assert [f.rule for f in report.suppressed] == ["units-call"]

@@ -2,14 +2,17 @@
 
 This is the machine-checked version of the review-time invariants the
 reproduction's numbers rest on: seeded determinism (R1), a shared protocol
-contract across every baseline (R2), numeric hygiene (R3) and a public API
-that matches its documentation and tests (R4).  Any new violation must
-either be fixed or carry an explicit `# repro: allow-<rule>` suppression
-with a rationale.
+contract across every baseline (R2), numeric hygiene (R3), a public API
+that matches its documentation and tests (R4), units/dimension consistency
+(R5), probability-domain safety (R6), whole-program RNG reachability (R7)
+and experiment-registry completeness (R8).  Any new violation must either
+be fixed or carry an explicit `# repro: allow-<rule>` suppression with a
+rationale -- the gate runs strict, without the grandfather baseline.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 from repro.devtools import LintEngine
@@ -37,9 +40,39 @@ def test_every_rule_ran():
         "float-equality",
         "mutable-default",
         "public-api",
+        "units-arithmetic",
+        "units-call",
+        "probability-domain",
+        "probability-call",
+        "rng-reachability",
+        "experiment-registry",
     }
 
 
 def test_cli_exits_zero_on_repo(capsys):
-    assert main([str(SRC)]) == 0
+    assert main(["--no-cache", str(SRC)]) == 0
     assert "OK" in capsys.readouterr().out
+
+
+def test_strict_mode_is_clean_and_baseline_is_empty(capsys):
+    """The committed baseline grandfathers nothing: --no-baseline passes
+    too, and the checked-in file has an empty findings list."""
+    assert main(["--no-cache", "--no-baseline", str(SRC)]) == 0
+    capsys.readouterr()
+    baseline = json.loads(
+        (REPO_ROOT / ".repro-lint-baseline.json").read_text())
+    assert baseline["findings"] == []
+
+
+def test_warm_cache_run_serves_every_module_from_cache(tmp_path):
+    """Asserted via hit/miss counters, not wall-clock: the cold run misses
+    every module, the warm run hits every module (so pass 1 -- parse,
+    per-file rules, indexing -- was skipped for the entire tree)."""
+    cache = tmp_path / "cache.json"
+    cold = LintEngine(cache_path=cache).lint_paths([SRC])
+    assert cold.cache_hits == 0
+    assert cold.cache_misses == cold.modules_checked > 50
+    warm = LintEngine(cache_path=cache).lint_paths([SRC])
+    assert warm.cache_misses == 0
+    assert warm.cache_hits == warm.modules_checked == cold.modules_checked
+    assert warm.findings == cold.findings
