@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Benchmark harness for the sweep executor (writes ``BENCH_3.json``).
+
+Times representative cells (FCAT-2/3/4 and DFSA at N in {500, 5000, 10000}),
+then races the FCAT sweep three ways: serial (``jobs=1``), parallel
+(``--jobs``), and cache-served (cold fill followed by a warm rerun).  The
+JSON artefact records wall-clock, speedup and cache-hit statistics so the
+perf trajectory of the executor is pinned across PRs::
+
+    PYTHONPATH=src python scripts/bench.py                  # full grid
+    PYTHONPATH=src python scripts/bench.py --smoke          # CI-sized grid
+    PYTHONPATH=src python scripts/bench.py --jobs 8 --out BENCH_3.json
+
+Speedup accounting: ``speedup`` is serial/parallel for the sweep;
+``best_speedup`` is serial over the fastest non-serial mode (parallel or
+warm cache), which is what a rerun actually experiences.  On a single-core
+machine the parallel leg cannot win, but the warm-cache leg still must.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core import Fcat  # noqa: E402
+from repro.baselines.dfsa import Dfsa  # noqa: E402
+from repro.experiments.executor import default_jobs  # noqa: E402
+from repro.experiments.result_cache import ResultCache  # noqa: E402
+from repro.experiments.runner import run_cell, sweep  # noqa: E402
+
+SCHEMA = "repro-bench/1"
+BENCH_NAME = "BENCH_3"
+
+
+def bench_cells(n_values: list[int], runs: int, seed: int) -> list[dict]:
+    """Serial wall-clock of each representative (protocol, N) cell."""
+    rows = []
+    for protocol in [Fcat(lam=2), Fcat(lam=3), Fcat(lam=4), Dfsa()]:
+        for n_tags in n_values:
+            started = time.perf_counter()
+            cell = run_cell(protocol, n_tags, runs, seed)
+            elapsed = time.perf_counter() - started
+            rows.append({
+                "protocol": protocol.name,
+                "n_tags": n_tags,
+                "runs": runs,
+                "serial_s": round(elapsed, 4),
+                "throughput_mean": round(cell.throughput_mean, 2),
+            })
+            print(f"  {protocol.name:>7} N={n_tags:<6} {elapsed:7.2f}s "
+                  f"({cell.throughput_mean:.1f} tags/s)", file=sys.stderr)
+    return rows
+
+
+def bench_sweep(n_values: list[int], runs: int, seed: int, jobs: int,
+                cache_path: Path) -> dict:
+    """Race the FCAT sweep: serial vs parallel vs content-addressed cache."""
+    protocols = [Fcat(lam=2), Fcat(lam=3), Fcat(lam=4)]
+
+    started = time.perf_counter()
+    serial = sweep(protocols, n_values, runs, seed)
+    serial_s = time.perf_counter() - started
+    print(f"  sweep serial    {serial_s:7.2f}s", file=sys.stderr)
+
+    started = time.perf_counter()
+    parallel = sweep(protocols, n_values, runs, seed, jobs=jobs)
+    parallel_s = time.perf_counter() - started
+    print(f"  sweep jobs={jobs:<4} {parallel_s:7.2f}s", file=sys.stderr)
+    if parallel != serial:
+        raise AssertionError("parallel sweep diverged from serial sweep")
+
+    cold_cache = ResultCache(cache_path)
+    started = time.perf_counter()
+    sweep(protocols, n_values, runs, seed, jobs=jobs, cache=cold_cache)
+    cold_s = time.perf_counter() - started
+    warm_cache = ResultCache(cache_path)
+    started = time.perf_counter()
+    warm = sweep(protocols, n_values, runs, seed, jobs=jobs,
+                 cache=warm_cache)
+    warm_s = time.perf_counter() - started
+    print(f"  sweep cold-cache {cold_s:6.2f}s, warm-cache {warm_s:6.4f}s",
+          file=sys.stderr)
+    if warm != serial:
+        raise AssertionError("cache-served sweep diverged from serial sweep")
+
+    return {
+        "protocols": [protocol.name for protocol in protocols],
+        "n_values": n_values,
+        "runs": runs,
+        "jobs": jobs,
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 3),
+        "cold_cache_s": round(cold_s, 4),
+        "warm_cache_s": round(warm_s, 4),
+        "warm_fraction": round(warm_s / cold_s, 5),
+        "best_speedup": round(serial_s / min(parallel_s, warm_s), 3),
+        "cache_hits": warm_cache.hits,
+        "cache_misses": warm_cache.misses,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Time the sweep executor and write BENCH_3.json")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_3.json"),
+                        help="where to write the JSON artefact")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="parallel worker count (0 = all cores)")
+    parser.add_argument("--runs", type=int, default=5,
+                        help="simulation runs per cell")
+    parser.add_argument("--seed", type=int, default=20100562)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized grid: tiny N values and runs")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    jobs = args.jobs if args.jobs > 0 else default_jobs()
+    if args.smoke:
+        cell_grid, sweep_grid, runs = [200, 500], [200, 500], 3
+    else:
+        cell_grid, sweep_grid, runs = [500, 5000, 10000], [500, 5000], \
+            args.runs
+    cache_path = args.out.with_suffix(".cache.json")
+    if cache_path.exists():
+        cache_path.unlink()  # the cold leg must actually be cold
+    print(f"[{BENCH_NAME}] cells (serial, runs={runs})", file=sys.stderr)
+    cells = bench_cells(cell_grid, runs, args.seed)
+    print(f"[{BENCH_NAME}] FCAT sweep (N={sweep_grid}, jobs={jobs})",
+          file=sys.stderr)
+    sweep_stats = bench_sweep(sweep_grid, runs, args.seed + 1, jobs,
+                              cache_path)
+    if cache_path.exists():
+        cache_path.unlink()
+    payload = {
+        "schema": SCHEMA,
+        "bench": BENCH_NAME,
+        "smoke": args.smoke,
+        "machine": {
+            "cpu_count": default_jobs(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "cells": cells,
+        "sweep": sweep_stats,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[{BENCH_NAME}] sweep speedup x{sweep_stats['speedup']}, "
+          f"warm cache {sweep_stats['warm_fraction']:.1%} of cold, "
+          f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

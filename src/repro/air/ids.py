@@ -26,21 +26,32 @@ PAYLOAD_BITS = ID_BITS - CRC_BITS
 
 
 def int_to_bits(value: int, width: int) -> np.ndarray:
-    """Encode ``value`` as a MSB-first ``uint8`` bit array of length ``width``."""
+    """Encode ``value`` as a MSB-first ``uint8`` bit array of length ``width``.
+
+    Vectorized via ``int.to_bytes`` + :func:`numpy.unpackbits`: population
+    minting runs once per simulation run, so this codec sits on the sweep
+    executor's hot path at small N.
+    """
     if value < 0:
         raise ValueError("value must be non-negative")
     if value >> width:
         raise ValueError(f"value {value} does not fit in {width} bits")
-    return np.array([(value >> (width - 1 - i)) & 1 for i in range(width)],
-                    dtype=np.uint8)
+    if width == 0:
+        return np.zeros(0, dtype=np.uint8)
+    n_bytes = (width + 7) // 8
+    raw = np.frombuffer(value.to_bytes(n_bytes, "big"), dtype=np.uint8)
+    return np.unpackbits(raw)[8 * n_bytes - width:]
 
 
 def bits_to_int(bits: np.ndarray) -> int:
-    """Decode a MSB-first bit array into an integer."""
-    value = 0
-    for bit in np.asarray(bits, dtype=np.uint8):
-        value = (value << 1) | int(bit)
-    return value
+    """Decode a MSB-first bit array into an integer (any nonzero bit is 1)."""
+    arr = np.asarray(bits, dtype=np.uint8).ravel()
+    if arr.size == 0:
+        return 0
+    pad = (-arr.size) % 8
+    if pad:
+        arr = np.concatenate([np.zeros(pad, dtype=np.uint8), arr])
+    return int.from_bytes(np.packbits(arr).tobytes(), "big")
 
 
 def make_tag_id(payload: int) -> int:

@@ -82,6 +82,12 @@ class LintConfig:
     #: (``repro.core`` is depth 1; ``repro.devtools.rules`` is depth 2 and
     #: only gets the per-module ``__all__`` checks).
     api_packages_max_depth: int = 1
+    #: Plain modules (not package ``__init__``s) that are public API
+    #: surfaces in their own right: their ``__all__`` gets the same checks
+    #: and they may be listed in the ``PACKAGES`` manifest.
+    api_export_modules: tuple[str, ...] = (
+        "repro/experiments/executor.py",
+    )
 
     # --- R5: units/dimension analysis -----------------------------------
     #: Directories whose arithmetic and call arguments are kind-checked
@@ -103,6 +109,9 @@ class LintConfig:
     #: stochastic APIs that outside callers (tests, notebooks, downstream
     #: code) drive with their own Generator.
     rng_public_roots: tuple[str, ...] = (
+        # The sweep executor's worker entry point: in a pool worker process
+        # this is the outermost frame above the seeded simulation path.
+        "repro.experiments.executor:run_chunk",
         "repro.analysis.link_budget:simulated_ber",
         "repro.analysis.link_budget:channel_model_from_snr",
         "repro.baselines.abs_protocol:AdaptiveBinarySplitting.reread",

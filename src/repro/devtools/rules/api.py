@@ -11,7 +11,11 @@ other side, statically:
 * the ``PACKAGES`` manifest in the public-API test names exactly the
   shallow packages that exist under the scan root;
 * every ``from repro... import name`` line in the docs names an exported
-  symbol.
+  symbol;
+* standalone modules listed in ``LintConfig.api_export_modules`` (e.g. the
+  sweep executor) get the same ``__all__`` checks and may appear in the
+  ``PACKAGES`` manifest, minus re-export completeness -- unlike an
+  ``__init__``, a module legitimately imports internals it doesn't export.
 """
 
 from __future__ import annotations
@@ -85,12 +89,21 @@ class PublicApiConsistency(Rule):
         exports: dict[str, list[str]] = {}
         for module in project.package_inits():
             yield from self._check_init(module, exports)
+        # Designated standalone API modules get the same __all__ checks,
+        # minus re-export completeness: unlike an __init__, a module
+        # legitimately imports internals it does not re-export.
+        for relpath in config.api_export_modules:
+            module = project.module_at(relpath)
+            if module is not None and not module.is_package_init:
+                yield from self._check_init(module, exports,
+                                            require_reexports=False)
         if project.repo_root is not None:
             yield from self._check_packages_manifest(project, exports, config)
             yield from self._check_docs(project, exports, config)
 
     def _check_init(self, module: ModuleContext,
-                    exports: dict[str, list[str]]) -> Iterable[Finding]:
+                    exports: dict[str, list[str]],
+                    require_reexports: bool = True) -> Iterable[Finding]:
         declared, line = _literal_all(module)
         if line == 0:
             yield self.finding(
@@ -117,6 +130,8 @@ class PublicApiConsistency(Rule):
                     module, line,
                     f"__all__ entry `{entry}` does not resolve to any "
                     "import or definition in the package")
+        if not require_reexports:
+            return
         for node in module.tree.body:
             if not (isinstance(node, ast.ImportFrom) and node.module
                     and node.module.split(".")[0] == "repro"):

@@ -6,7 +6,20 @@ ASCII output (for reports).  ``python -m repro.experiments`` drives them from
 the command line; EXPERIMENTS.md records paper-vs-measured for each.
 """
 
-from repro.experiments.runner import rng_from_seed, run_cell, sweep
+from repro.experiments.executor import (
+    CellSpec,
+    ExecutionPlan,
+    default_jobs,
+    execute_cells,
+)
+from repro.experiments.result_cache import ResultCache, cell_key
+from repro.experiments.runner import (
+    rng_from_seed,
+    run_cell,
+    run_single,
+    spawn_run_seeds,
+    sweep,
+)
 from repro.experiments.table1 import Table1Config, run_table1
 from repro.experiments.table2 import Table2Config, run_table2
 from repro.experiments.table3 import Table3Config, run_table3
@@ -33,8 +46,16 @@ from repro.experiments.ablations import (
 )
 
 __all__ = [
+    "CellSpec",
+    "ExecutionPlan",
+    "ResultCache",
+    "cell_key",
+    "default_jobs",
+    "execute_cells",
     "rng_from_seed",
     "run_cell",
+    "run_single",
+    "spawn_run_seeds",
     "sweep",
     "Table1Config",
     "run_table1",

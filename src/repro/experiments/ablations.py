@@ -21,6 +21,12 @@ from repro.air.ids import generate_tag_ids, id_to_bits
 from repro.baselines.crdsa import Crdsa
 from repro.baselines.dfsa import Dfsa
 from repro.core import Fcat, Scat
+from repro.experiments.executor import (
+    SERIAL_PLAN,
+    CellSpec,
+    ExecutionPlan,
+    execute_cells,
+)
 from repro.experiments.runner import rng_from_seed, run_cell
 from repro.phy import (
     awgn,
@@ -131,20 +137,25 @@ class AblationNoiseResult:
     table: MarkdownTable
 
 
-def run_ablation_noise(config: AblationNoiseConfig = AblationNoiseConfig()
+def run_ablation_noise(config: AblationNoiseConfig = AblationNoiseConfig(),
+                       plan: ExecutionPlan = SERIAL_PLAN
                        ) -> AblationNoiseResult:
     table = MarkdownTable(
         title=f"A2 -- FCAT-{config.lam} vs unresolvable-record probability "
               f"(N = {config.n_tags})",
         headers=["P(record unusable)", "throughput (tags/s)"])
-    throughputs = []
-    for index, q in enumerate(config.loss_probabilities):
-        channel = ChannelModel(collision_unusable_prob=q)
-        cell = run_cell(Fcat(lam=config.lam), config.n_tags, config.runs,
-                        config.seed + index, channel=channel)
-        throughputs.append(cell.throughput_mean)
+    specs = [
+        CellSpec(protocol=Fcat(lam=config.lam), n_tags=config.n_tags,
+                 runs=config.runs, seed=config.seed + index,
+                 channel=ChannelModel(collision_unusable_prob=q))
+        for index, q in enumerate(config.loss_probabilities)
+    ]
+    cells = execute_cells(specs, jobs=plan.jobs, cache=plan.cache)
+    throughputs = [cell.throughput_mean for cell in cells]
+    for q, cell in zip(config.loss_probabilities, cells):
         table.add_row(f"{q:.2f}", cell.throughput_mean)
-    dfsa = run_cell(Dfsa(), config.n_tags, config.runs, config.seed + 999)
+    dfsa = run_cell(Dfsa(), config.n_tags, config.runs, config.seed + 999,
+                    jobs=plan.jobs, cache=plan.cache)
     table.add_note(
         f"DFSA reference: {dfsa.throughput_mean:.1f} tags/s. With all records "
         "useless FCAT lands *below* DFSA because its load omega = 1.414 "
@@ -179,7 +190,8 @@ class AblationCaptureResult:
     table: MarkdownTable
 
 
-def run_ablation_capture(config: AblationCaptureConfig = AblationCaptureConfig()
+def run_ablation_capture(config: AblationCaptureConfig = AblationCaptureConfig(),
+                         plan: ExecutionPlan = SERIAL_PLAN
                          ) -> AblationCaptureResult:
     """Capture effect: who benefits, and which estimator survives it.
 
@@ -194,14 +206,19 @@ def run_ablation_capture(config: AblationCaptureConfig = AblationCaptureConfig()
     table = MarkdownTable(
         title=f"A4 -- throughput vs capture probability (N = {config.n_tags})",
         headers=["P(capture)"] + list(protocols))
+    specs = [
+        CellSpec(protocol=factory(), n_tags=config.n_tags, runs=config.runs,
+                 seed=config.seed + 101 * index + 10_007 * column,
+                 channel=ChannelModel(capture_prob=capture))
+        for index, capture in enumerate(config.capture_probabilities)
+        for column, factory in enumerate(protocols.values())
+    ]
+    cells = iter(execute_cells(specs, jobs=plan.jobs, cache=plan.cache))
     curves: dict[str, list[float]] = {label: [] for label in protocols}
-    for index, capture in enumerate(config.capture_probabilities):
-        channel = ChannelModel(capture_prob=capture)
+    for capture in config.capture_probabilities:
         row: list[float] = []
-        for column, (label, factory) in enumerate(protocols.items()):
-            cell = run_cell(factory(), config.n_tags, config.runs,
-                            config.seed + 101 * index + 10_007 * column,
-                            channel=channel)
+        for label in protocols:
+            cell = next(cells)
             curves[label].append(cell.throughput_mean)
             row.append(cell.throughput_mean)
         table.add_row(f"{capture:.1f}", *row)
@@ -231,7 +248,8 @@ class AblationPrestepResult:
     table: MarkdownTable
 
 
-def run_ablation_prestep(config: AblationPrestepConfig = AblationPrestepConfig()
+def run_ablation_prestep(config: AblationPrestepConfig = AblationPrestepConfig(),
+                         plan: ExecutionPlan = SERIAL_PLAN
                          ) -> AblationPrestepResult:
     """What removing the pre-step buys (paper section V-A, first point).
 
@@ -242,16 +260,23 @@ def run_ablation_prestep(config: AblationPrestepConfig = AblationPrestepConfig()
     table = MarkdownTable(
         title=f"A5 -- the cost of SCAT's pre-step (N = {config.n_tags})",
         headers=["protocol", "throughput (tags/s)"])
-    oracle = run_cell(Scat(lam=2), config.n_tags, config.runs, config.seed)
+    specs = [CellSpec(protocol=Scat(lam=2), n_tags=config.n_tags,
+                      runs=config.runs, seed=config.seed)]
+    specs += [
+        CellSpec(protocol=Scat(lam=2, pre_estimate_cv=cv),
+                 n_tags=config.n_tags, runs=config.runs,
+                 seed=config.seed + index + 1)
+        for index, cv in enumerate(config.target_cvs)
+    ]
+    specs.append(CellSpec(protocol=Fcat(lam=2), n_tags=config.n_tags,
+                          runs=config.runs, seed=config.seed + 99))
+    cells = execute_cells(specs, jobs=plan.jobs, cache=plan.cache)
+    oracle, fcat = cells[0], cells[-1]
     table.add_row("SCAT-2 (oracle count)", oracle.throughput_mean)
     prestep: dict[float, float] = {}
-    for index, cv in enumerate(config.target_cvs):
-        cell = run_cell(Scat(lam=2, pre_estimate_cv=cv), config.n_tags,
-                        config.runs, config.seed + index + 1)
+    for cv, cell in zip(config.target_cvs, cells[1:-1]):
         prestep[cv] = cell.throughput_mean
         table.add_row(f"SCAT-2 (pre-step, cv = {cv:g})", cell.throughput_mean)
-    fcat = run_cell(Fcat(lam=2), config.n_tags, config.runs,
-                    config.seed + 99)
     table.add_row("FCAT-2 (embedded estimator)", fcat.throughput_mean)
     table.add_note("FCAT needs no pre-step and still beats oracle SCAT: the "
                    "framing removes per-slot advertisements too (section V-A)")
@@ -415,18 +440,25 @@ class CrdsaComparisonResult:
     table: MarkdownTable
 
 
-def run_crdsa_comparison(config: CrdsaComparisonConfig = CrdsaComparisonConfig()
+def run_crdsa_comparison(config: CrdsaComparisonConfig = CrdsaComparisonConfig(),
+                         plan: ExecutionPlan = SERIAL_PLAN
                          ) -> CrdsaComparisonResult:
     protocols = [Fcat(lam=2), Crdsa(), Dfsa()]
     cells: dict[tuple[str, int], AggregateResult] = {}
     table = MarkdownTable(
         title="A3 -- FCAT-2 vs CRDSA vs DFSA (tags/second)",
         headers=["N"] + [protocol.name for protocol in protocols])
-    for row, n in enumerate(config.n_values):
+    specs = [
+        CellSpec(protocol=protocol, n_tags=n, runs=config.runs,
+                 seed=config.seed + 101 * row + 10_007 * column)
+        for row, n in enumerate(config.n_values)
+        for column, protocol in enumerate(protocols)
+    ]
+    flat = iter(execute_cells(specs, jobs=plan.jobs, cache=plan.cache))
+    for n in config.n_values:
         values = []
-        for column, protocol in enumerate(protocols):
-            cell = run_cell(protocol, n, config.runs,
-                            config.seed + 101 * row + 10_007 * column)
+        for protocol in protocols:
+            cell = next(flat)
             cells[(protocol.name, n)] = cell
             values.append(cell.throughput_mean)
         table.add_row(n, *values)

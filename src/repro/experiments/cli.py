@@ -2,11 +2,14 @@
 
 Usage::
 
-    python -m repro.experiments table1 --runs 100 --paper-scale
+    python -m repro.experiments table1 --runs 100 --paper-scale --jobs 8
     python -m repro.experiments all --runs 10 --out results/
 
 Each experiment prints its markdown table or ASCII chart and, with ``--out``,
-also writes it to ``<out>/<name>.md``.
+also writes it to ``<out>/<name>.md``.  ``--jobs`` fans the simulation runs
+out across worker processes (results are bit-for-bit identical to serial);
+repeated invocations are served from the content-addressed result cache
+unless ``--no-result-cache`` is given.
 """
 
 from __future__ import annotations
@@ -33,37 +36,40 @@ from repro.experiments.ablations import (
     run_ablation_snr,
     run_crdsa_comparison,
 )
+from repro.experiments.executor import ExecutionPlan, default_jobs
 from repro.experiments.fig3 import Fig3Config, run_fig3
 from repro.experiments.fig4 import Fig4Config, run_fig4
 from repro.experiments.fig5 import Fig5Config, run_fig5
 from repro.experiments.fig6 import Fig6Config, run_fig6
+from repro.experiments.result_cache import ResultCache
 from repro.experiments.table1 import Table1Config, run_table1
 from repro.experiments.table2 import Table2Config, run_table2
 from repro.experiments.table3 import Table3Config, run_table3
 from repro.experiments.table4 import Table4Config, run_table4
 
 
-def _render_table1(args: argparse.Namespace) -> str:
+def _render_table1(args: argparse.Namespace, plan: ExecutionPlan) -> str:
     if args.paper_scale:
         config = Table1Config.paper_scale(runs=args.runs)
     else:
         config = Table1Config(runs=args.runs)
-    return run_table1(config).table.render()
+    return run_table1(config, plan).table.render()
 
 
-def _render_table2(args: argparse.Namespace) -> str:
-    return run_table2(Table2Config(runs=args.runs)).table.render()
+def _render_table2(args: argparse.Namespace, plan: ExecutionPlan) -> str:
+    return run_table2(Table2Config(runs=args.runs), plan).table.render()
 
 
-def _render_table3(args: argparse.Namespace) -> str:
-    return run_table3(Table3Config(runs=args.runs)).table.render()
+def _render_table3(args: argparse.Namespace, plan: ExecutionPlan) -> str:
+    return run_table3(Table3Config(runs=args.runs), plan).table.render()
 
 
-def _render_table4(args: argparse.Namespace) -> str:
-    return run_table4(Table4Config(runs=max(args.runs // 3, 1))).table.render()
+def _render_table4(args: argparse.Namespace, plan: ExecutionPlan) -> str:
+    return run_table4(Table4Config(runs=max(args.runs // 3, 1)),
+                      plan).table.render()
 
 
-def _render_fig3(args: argparse.Namespace) -> str:
+def _render_fig3(args: argparse.Namespace, plan: ExecutionPlan) -> str:
     result = run_fig3(Fig3Config(simulate=True))
     lines = [result.chart.render(), ""]
     for lam, bias in result.empirical.items():
@@ -72,7 +78,7 @@ def _render_fig3(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
-def _render_fig4(args: argparse.Namespace) -> str:
+def _render_fig4(args: argparse.Namespace, plan: ExecutionPlan) -> str:
     result = run_fig4(Fig4Config(simulate=True))
     lines = [result.chart.render(), "",
              f"singleton count peaks at N ~ {result.singleton_peak_n:.0f}"]
@@ -83,16 +89,16 @@ def _render_fig4(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
-def _render_fig5(args: argparse.Namespace) -> str:
-    result = run_fig5(Fig5Config(runs=max(args.runs // 5, 1)))
+def _render_fig5(args: argparse.Namespace, plan: ExecutionPlan) -> str:
+    result = run_fig5(Fig5Config(runs=max(args.runs // 5, 1)), plan)
     lines = [result.chart.render(), ""]
     for lam in result.config.lams:
         lines.append(f"FCAT-{lam} peaks at omega ~ {result.peak_omega(lam)}")
     return "\n".join(lines)
 
 
-def _render_fig6(args: argparse.Namespace) -> str:
-    result = run_fig6(Fig6Config(runs=max(args.runs // 5, 1)))
+def _render_fig6(args: argparse.Namespace, plan: ExecutionPlan) -> str:
+    result = run_fig6(Fig6Config(runs=max(args.runs // 5, 1)), plan)
     lines = [result.chart.render(), ""]
     for lam in result.config.lams:
         lines.append(f"FCAT-{lam} plateau spread (f >= 10): "
@@ -100,35 +106,43 @@ def _render_fig6(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
-def _render_ablation_snr(args: argparse.Namespace) -> str:
+def _render_ablation_snr(args: argparse.Namespace, plan: ExecutionPlan) -> str:
     return run_ablation_snr(AblationSnrConfig()).chart.render()
 
 
-def _render_ablation_noise(args: argparse.Namespace) -> str:
+def _render_ablation_noise(args: argparse.Namespace,
+                           plan: ExecutionPlan) -> str:
     return run_ablation_noise(
-        AblationNoiseConfig(runs=max(args.runs // 3, 1))).table.render()
+        AblationNoiseConfig(runs=max(args.runs // 3, 1)), plan).table.render()
 
 
-def _render_crdsa(args: argparse.Namespace) -> str:
+def _render_crdsa(args: argparse.Namespace, plan: ExecutionPlan) -> str:
     return run_crdsa_comparison(
-        CrdsaComparisonConfig(runs=max(args.runs // 3, 1))).table.render()
+        CrdsaComparisonConfig(runs=max(args.runs // 3, 1)), plan
+    ).table.render()
 
 
-def _render_ablation_capture(args: argparse.Namespace) -> str:
+def _render_ablation_capture(args: argparse.Namespace,
+                             plan: ExecutionPlan) -> str:
     return run_ablation_capture(
-        AblationCaptureConfig(runs=max(args.runs // 3, 1))).table.render()
+        AblationCaptureConfig(runs=max(args.runs // 3, 1)),
+        plan).table.render()
 
 
-def _render_ablation_prestep(args: argparse.Namespace) -> str:
+def _render_ablation_prestep(args: argparse.Namespace,
+                             plan: ExecutionPlan) -> str:
     return run_ablation_prestep(
-        AblationPrestepConfig(runs=max(args.runs // 3, 1))).table.render()
+        AblationPrestepConfig(runs=max(args.runs // 3, 1)),
+        plan).table.render()
 
 
-def _render_ablation_churn(args: argparse.Namespace) -> str:
+def _render_ablation_churn(args: argparse.Namespace,
+                           plan: ExecutionPlan) -> str:
     return run_ablation_churn(AblationChurnConfig()).table.render()
 
 
-def _render_ablation_energy(args: argparse.Namespace) -> str:
+def _render_ablation_energy(args: argparse.Namespace,
+                            plan: ExecutionPlan) -> str:
     return run_ablation_energy(
         AblationEnergyConfig(runs=max(args.runs // 3, 1))).table.render()
 
@@ -165,25 +179,51 @@ def build_parser() -> argparse.ArgumentParser:
                         help="use the paper's full N grid for table1")
     parser.add_argument("--out", type=Path, default=None,
                         help="directory to write <experiment>.md files into")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the sweep executor "
+                             f"(0 = all cores, here {default_jobs()}); "
+                             "results are identical to --jobs 1")
+    parser.add_argument("--no-result-cache", action="store_true",
+                        help="recompute every cell instead of serving "
+                             "previously computed ones from "
+                             ".repro-results-cache.json")
+    parser.add_argument("--result-cache", type=Path, default=None,
+                        help="path of the result-cache file (default: "
+                             "./.repro-results-cache.json)")
     return parser
+
+
+def build_plan(args: argparse.Namespace) -> ExecutionPlan:
+    """The execution plan the parsed CLI flags describe."""
+    jobs = default_jobs() if args.jobs == 0 else args.jobs
+    if jobs < 1:
+        raise SystemExit(f"--jobs must be >= 0, got {args.jobs}")
+    cache = None
+    if not args.no_result_cache:
+        cache = ResultCache(args.result_cache) if args.result_cache \
+            else ResultCache()
+    return ExecutionPlan(jobs=jobs, cache=cache)
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    plan = build_plan(args)
     names = sorted(EXPERIMENTS) if "all" in args.experiments \
         else list(dict.fromkeys(args.experiments))
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
     for name in names:
         started = time.time()
-        output = EXPERIMENTS[name](args)
+        output = EXPERIMENTS[name](args, plan)
         elapsed = time.time() - started
         print(output)
         print(f"[{name} finished in {elapsed:.1f}s]", file=sys.stderr)
         if args.out is not None:
             (args.out / f"{name}.md").write_text(output + "\n")
+    if plan.cache is not None:
+        print(f"[{plan.cache.stats()}]", file=sys.stderr)
     return 0
 
 
 # `replace` is re-exported for tools that tweak configs programmatically.
-__all__ = ["main", "build_parser", "EXPERIMENTS", "replace"]
+__all__ = ["main", "build_parser", "build_plan", "EXPERIMENTS", "replace"]

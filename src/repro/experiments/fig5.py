@@ -14,8 +14,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core import Fcat
+from repro.experiments.executor import (
+    SERIAL_PLAN,
+    CellSpec,
+    ExecutionPlan,
+    execute_cells,
+)
 from repro.experiments.protocols import PAPER_FRAME_SIZE
-from repro.experiments.runner import run_cell
 from repro.report.ascii_chart import AsciiChart
 
 
@@ -44,20 +49,23 @@ class Fig5Result:
         return self.config.omega_grid[int(np.argmax(curve))]
 
 
-def run_fig5(config: Fig5Config = Fig5Config()) -> Fig5Result:
+def run_fig5(config: Fig5Config = Fig5Config(),
+             plan: ExecutionPlan = SERIAL_PLAN) -> Fig5Result:
     chart = AsciiChart(title=f"Fig. 5 -- FCAT throughput vs omega "
                              f"(N = {config.n_tags})",
                        x_label="omega", y_label="tags/second")
     curves: dict[int, list[float]] = {}
     for index, lam in enumerate(config.lams):
         seed = config.seed + 1000 * index
-        curve = []
-        for grid_index, omega in enumerate(config.omega_grid):
-            protocol = Fcat(lam=lam, frame_size=PAPER_FRAME_SIZE, omega=omega)
-            cell = run_cell(protocol, config.n_tags, config.runs,
-                            seed + grid_index)
-            curve.append(cell.throughput_mean)
-        curves[lam] = curve
+        specs = [
+            CellSpec(protocol=Fcat(lam=lam, frame_size=PAPER_FRAME_SIZE,
+                                   omega=omega),
+                     n_tags=config.n_tags, runs=config.runs,
+                     seed=seed + grid_index)
+            for grid_index, omega in enumerate(config.omega_grid)
+        ]
+        cells = execute_cells(specs, jobs=plan.jobs, cache=plan.cache)
+        curves[lam] = [cell.throughput_mean for cell in cells]
         chart.add_series(f"FCAT-{lam}", np.asarray(config.omega_grid),
-                         np.asarray(curve))
+                         np.asarray(curves[lam]))
     return Fig5Result(config=config, curves=curves, chart=chart)

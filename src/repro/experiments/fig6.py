@@ -18,7 +18,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core import Fcat
-from repro.experiments.runner import run_cell
+from repro.experiments.executor import (
+    SERIAL_PLAN,
+    CellSpec,
+    ExecutionPlan,
+    execute_cells,
+)
 from repro.report.ascii_chart import AsciiChart
 
 
@@ -50,22 +55,24 @@ class Fig6Result:
         return (max(values) - min(values)) / max(values)
 
 
-def run_fig6(config: Fig6Config = Fig6Config()) -> Fig6Result:
+def run_fig6(config: Fig6Config = Fig6Config(),
+             plan: ExecutionPlan = SERIAL_PLAN) -> Fig6Result:
     chart = AsciiChart(title=f"Fig. 6 -- FCAT throughput vs frame size "
                              f"(N = {config.n_tags})",
                        x_label="frame size f", y_label="tags/second")
     curves: dict[int, list[float]] = {}
     for index, lam in enumerate(config.lams):
         seed = config.seed + 1000 * index
-        curve = []
-        for grid_index, frame_size in enumerate(config.frame_sizes):
-            protocol = Fcat(lam=lam, frame_size=frame_size,
-                            initial_estimate=float(config.n_tags))
-            cell = run_cell(protocol, config.n_tags, config.runs,
-                            seed + grid_index)
-            curve.append(cell.throughput_mean)
-        curves[lam] = curve
+        specs = [
+            CellSpec(protocol=Fcat(lam=lam, frame_size=frame_size,
+                                   initial_estimate=float(config.n_tags)),
+                     n_tags=config.n_tags, runs=config.runs,
+                     seed=seed + grid_index)
+            for grid_index, frame_size in enumerate(config.frame_sizes)
+        ]
+        cells = execute_cells(specs, jobs=plan.jobs, cache=plan.cache)
+        curves[lam] = [cell.throughput_mean for cell in cells]
         chart.add_series(f"FCAT-{lam}",
                          np.asarray(config.frame_sizes, dtype=float),
-                         np.asarray(curve))
+                         np.asarray(curves[lam]))
     return Fig6Result(config=config, curves=curves, chart=chart)

@@ -1,0 +1,203 @@
+"""Content-addressed cache for sweep cell results.
+
+Paper-scale reproduction re-derives identical (protocol, N) cells on every
+invocation -- Tables I-III share rosters, the bench harness re-times the same
+cells, and a ``--paper-scale --runs 100`` rerun after an unrelated doc edit
+repeats hours of simulation.  Every cell is a pure function of its spec, so
+its :class:`~repro.sim.result.AggregateResult` can be served by content
+address instead.
+
+The key is a SHA-256 over a *canonical fingerprint* of the spec: protocol
+class + config fields, ``n_tags``, ``runs``, ``seed``, channel knobs and
+timing constants, all rendered to sorted-key JSON (modeled on the devtools
+lint cache from ``repro.devtools.cache``).  The store is one JSON file,
+``.repro-results-cache.json`` (git-ignored), invalidated as a whole by its
+*signature*: schema version, ``repro.__version__`` and a digest of the
+simulator source tree -- so editing any protocol, channel or codec never
+replays stale numbers.  Corrupt or unreadable files are treated as empty:
+the cache can only ever make a run faster, never wrong.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.air.timing import TimingModel
+from repro.sim.base import TagReadingProtocol
+from repro.sim.channel import ChannelModel
+from repro.sim.result import AggregateResult
+
+#: Bump when the fingerprint layout or the stored-result shape changes.
+RESULT_CACHE_SCHEMA = 1
+
+DEFAULT_RESULT_CACHE_NAME = ".repro-results-cache.json"
+
+#: Subpackages whose source feeds the cache signature: everything a cell
+#: result can depend on.  ``devtools`` (the linter) and ``report``
+#: (rendering) cannot change an ``AggregateResult``, so they are excluded
+#: and editing them keeps the cache warm.
+_SIGNATURE_EXCLUDED_PACKAGES = ("devtools", "report")
+
+_source_digest_memo: str | None = None
+
+
+def _iter_signature_sources() -> list[Path]:
+    package_root = Path(__file__).resolve().parent.parent
+    paths = []
+    for path in sorted(package_root.rglob("*.py")):
+        relative = path.relative_to(package_root)
+        if relative.parts and relative.parts[0] in _SIGNATURE_EXCLUDED_PACKAGES:
+            continue
+        if "__pycache__" in relative.parts:
+            continue
+        paths.append(path)
+    return paths
+
+
+def package_signature() -> str:
+    """Digest of the simulator's version plus its source tree.
+
+    Any edit to the packages that can influence a cell result -- protocols,
+    channel, codecs, the runner's seed derivation -- changes this signature
+    and therefore empties the cache.  Computed once per process.
+    """
+    global _source_digest_memo
+    if _source_digest_memo is None:
+        import repro
+        digest = hashlib.sha256()
+        digest.update(f"{RESULT_CACHE_SCHEMA}|{repro.__version__}|".encode())
+        for path in _iter_signature_sources():
+            digest.update(str(path.name).encode())
+            digest.update(path.read_bytes())
+        _source_digest_memo = digest.hexdigest()
+    return _source_digest_memo
+
+
+def canonical_fingerprint(value: object) -> object:
+    """Reduce ``value`` to a JSON-able structure with a stable rendering.
+
+    Dataclasses become ``{"<qualname>": {field: fingerprint...}}``; other
+    objects (protocol instances are plain classes over a config dataclass)
+    contribute their class qualname plus their instance ``__dict__``.  Floats
+    round-trip through ``repr`` inside JSON, so distinct configs never
+    collide and equal configs always agree.
+    """
+    if isinstance(value, (bool, int, str)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [canonical_fingerprint(item) for item in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [canonical_fingerprint(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): canonical_fingerprint(item)
+                for key, item in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {f.name: canonical_fingerprint(getattr(value, f.name))
+                  for f in dataclasses.fields(value)}
+        return {type(value).__qualname__: fields}
+    state = getattr(value, "__dict__", None)
+    if state is not None:
+        return {type(value).__qualname__: canonical_fingerprint(dict(state))}
+    return {type(value).__qualname__: repr(value)}
+
+
+def cell_key(protocol: TagReadingProtocol, n_tags: int, runs: int, seed: int,
+             channel: ChannelModel, timing: TimingModel) -> str:
+    """The content address of one cell: SHA-256 of its canonical spec."""
+    payload = json.dumps(
+        {
+            "protocol": canonical_fingerprint(protocol),
+            "n_tags": n_tags,
+            "runs": runs,
+            "seed": seed,
+            "channel": canonical_fingerprint(channel),
+            "timing": canonical_fingerprint(timing),
+        },
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _result_to_dict(result: AggregateResult) -> dict:
+    return {f.name: getattr(result, f.name)
+            for f in dataclasses.fields(AggregateResult)}
+
+
+def _result_from_dict(data: dict) -> AggregateResult:
+    return AggregateResult(**{f.name: data[f.name]
+                              for f in dataclasses.fields(AggregateResult)})
+
+
+class ResultCache:
+    """Keyed store of ``AggregateResult``s with hit/miss accounting."""
+
+    def __init__(self, path: Path | str = DEFAULT_RESULT_CACHE_NAME,
+                 signature: str | None = None) -> None:
+        self.path = Path(path)
+        self.signature = signature if signature is not None \
+            else package_signature()
+        self.hits = 0
+        self.misses = 0
+        self._entries: dict[str, AggregateResult] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(payload, dict) \
+                or payload.get("signature") != self.signature:
+            return
+        try:
+            self._entries = {
+                key: _result_from_dict(entry)
+                for key, entry in payload.get("entries", {}).items()}
+        except (KeyError, TypeError, ValueError):
+            self._entries = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: str) -> AggregateResult | None:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def store(self, key: str, result: AggregateResult) -> None:
+        self._entries[key] = result
+        self._dirty = True
+
+    def save(self) -> None:
+        """Persist all entries; a no-op unless something was stored."""
+        if not self._dirty:
+            return
+        payload = {
+            "signature": self.signature,
+            "entries": {key: _result_to_dict(entry)
+                        for key, entry in sorted(self._entries.items())},
+        }
+        try:
+            self.path.write_text(json.dumps(payload), encoding="utf-8")
+            self._dirty = False
+        except OSError:
+            pass  # a read-only checkout just runs cold every time
+
+    def stats(self) -> str:
+        """One-line hit/miss summary for CLI surfacing."""
+        return (f"result cache: {self.hits} hits / {self.misses} misses "
+                f"({len(self._entries)} entries in {self.path})")

@@ -5,9 +5,18 @@ The paper averages 100 independent simulation runs per data point.  Here a
 population (tree protocols are deterministic given the IDs, so reusing one
 population would zero out their variance) and an independent child RNG, all
 derived from a single seed for reproducibility.
+
+This module owns the *semantics* of a cell -- how run seeds derive from the
+cell seed and what one run does -- while :mod:`repro.experiments.executor`
+owns the *mechanics* of getting many cells computed (process-pool fan-out,
+content-addressed result caching).  Keeping the seed derivation here, and
+having the executor consume pre-spawned children, is what makes parallel
+results bit-for-bit identical to serial ones.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -15,7 +24,15 @@ from repro.air.timing import ICODE_TIMING, TimingModel
 from repro.sim.base import TagReadingProtocol
 from repro.sim.channel import PERFECT_CHANNEL, ChannelModel
 from repro.sim.population import TagPopulation
-from repro.sim.result import AggregateResult, ReadingResult, aggregate
+from repro.sim.result import AggregateResult, ReadingResult
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.experiments.result_cache import ResultCache
+
+#: Seed offsets decorrelating the cells of a sweep grid (column = protocol,
+#: row = population size); shared with the cache key derivation.
+SWEEP_COLUMN_STRIDE = 10_007
+SWEEP_ROW_STRIDE = 101
 
 
 def rng_from_seed(seed: int | np.random.SeedSequence) -> np.random.Generator:
@@ -28,39 +45,89 @@ def rng_from_seed(seed: int | np.random.SeedSequence) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def run_cell(protocol: TagReadingProtocol, n_tags: int, runs: int, seed: int,
-             channel: ChannelModel = PERFECT_CHANNEL,
-             timing: TimingModel = ICODE_TIMING) -> AggregateResult:
-    """Average ``runs`` sessions of one protocol at one population size."""
+def spawn_run_seeds(seed: int, runs: int) -> list[np.random.SeedSequence]:
+    """The per-run child seeds of one cell: ``SeedSequence(seed).spawn(runs)``.
+
+    Every execution path -- serial loop, process-pool chunk, cache key
+    derivation -- must obtain run seeds through this function so that run
+    ``i`` of a cell sees the same RNG stream no matter who computes it.
+    """
     if runs < 1:
         raise ValueError("runs must be >= 1")
+    return np.random.SeedSequence(seed).spawn(runs)
+
+
+def run_single(protocol: TagReadingProtocol, n_tags: int,
+               child: np.random.SeedSequence,
+               channel: ChannelModel = PERFECT_CHANNEL,
+               timing: TimingModel = ICODE_TIMING) -> ReadingResult:
+    """One independent session: fresh population, fresh Generator.
+
+    This is the unit of work the parallel executor ships to workers; it must
+    stay a pure function of ``(protocol, n_tags, child, channel, timing)``.
+    """
+    rng = rng_from_seed(child)
+    population = TagPopulation.random(n_tags, rng)
+    result = protocol.read_all(population, rng, channel=channel,
+                               timing=timing)
+    if not result.complete and channel is PERFECT_CHANNEL:
+        raise RuntimeError(
+            f"{protocol.name} read {result.n_read}/{result.n_tags} tags "
+            "on a perfect channel")
+    return result
+
+
+def run_cell(protocol: TagReadingProtocol, n_tags: int, runs: int, seed: int,
+             channel: ChannelModel = PERFECT_CHANNEL,
+             timing: TimingModel = ICODE_TIMING,
+             jobs: int = 1,
+             cache: "ResultCache | None" = None) -> AggregateResult:
+    """Average ``runs`` sessions of one protocol at one population size.
+
+    ``jobs`` > 1 fans the runs out across worker processes; ``cache`` serves
+    previously computed cells by content-addressed key.  Both are pure
+    mechanics: the returned ``AggregateResult`` is identical either way.
+    """
     if n_tags < 0:
         raise ValueError("n_tags must be non-negative")
-    results: list[ReadingResult] = []
-    for child in np.random.SeedSequence(seed).spawn(runs):
-        rng = np.random.default_rng(child)
-        population = TagPopulation.random(n_tags, rng)
-        result = protocol.read_all(population, rng, channel=channel,
-                                   timing=timing)
-        if not result.complete and channel is PERFECT_CHANNEL:
-            raise RuntimeError(
-                f"{protocol.name} read {result.n_read}/{result.n_tags} tags "
-                "on a perfect channel")
-        results.append(result)
-    return aggregate(results)
+    if runs < 1:
+        raise ValueError("runs must be >= 1")
+    from repro.experiments.executor import CellSpec, execute_cells
+    spec = CellSpec(protocol=protocol, n_tags=n_tags, runs=runs, seed=seed,
+                    channel=channel, timing=timing)
+    return execute_cells([spec], jobs=jobs, cache=cache)[0]
 
 
 def sweep(protocols: list[TagReadingProtocol], n_values: list[int],
           runs: int, seed: int,
           channel: ChannelModel = PERFECT_CHANNEL,
-          timing: TimingModel = ICODE_TIMING
+          timing: TimingModel = ICODE_TIMING,
+          jobs: int = 1,
+          cache: "ResultCache | None" = None
           ) -> dict[tuple[str, int], AggregateResult]:
-    """Run every (protocol, N) cell; seeds are decorrelated per cell."""
-    cells: dict[tuple[str, int], AggregateResult] = {}
+    """Run every (protocol, N) cell; seeds are decorrelated per cell.
+
+    Raises ``ValueError`` when two protocols share a display ``name`` at the
+    same N: the result dict is keyed by ``(name, n_tags)``, so a duplicate
+    would silently overwrite the first protocol's cell.
+    """
+    from repro.experiments.executor import CellSpec, execute_cells
+    specs: list[CellSpec] = []
+    keys: list[tuple[str, int]] = []
+    seen: set[tuple[str, int]] = set()
     for column, protocol in enumerate(protocols):
         for row, n_tags in enumerate(n_values):
-            cell_seed = seed + 10_007 * column + 101 * row
-            cells[(protocol.name, n_tags)] = run_cell(
-                protocol, n_tags, runs, cell_seed, channel=channel,
-                timing=timing)
-    return cells
+            key = (protocol.name, n_tags)
+            if key in seen:
+                raise ValueError(
+                    f"duplicate sweep cell {key}: two protocols share the "
+                    f"name {protocol.name!r}; give them distinct names")
+            seen.add(key)
+            keys.append(key)
+            cell_seed = (seed + SWEEP_COLUMN_STRIDE * column
+                         + SWEEP_ROW_STRIDE * row)
+            specs.append(CellSpec(protocol=protocol, n_tags=n_tags,
+                                  runs=runs, seed=cell_seed,
+                                  channel=channel, timing=timing))
+    results = execute_cells(specs, jobs=jobs, cache=cache)
+    return dict(zip(keys, results))

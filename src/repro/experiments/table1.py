@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.experiments.executor import SERIAL_PLAN, ExecutionPlan
 from repro.experiments.protocols import table1_roster
 from repro.experiments.runner import sweep
 from repro.report.tables import MarkdownTable
@@ -51,9 +52,11 @@ class Table1Result:
                 for n in self.config.n_values]
 
 
-def run_table1(config: Table1Config = Table1Config()) -> Table1Result:
+def run_table1(config: Table1Config = Table1Config(),
+               plan: ExecutionPlan = SERIAL_PLAN) -> Table1Result:
     protocols = table1_roster()
-    cells = sweep(protocols, config.n_values, config.runs, config.seed)
+    cells = sweep(protocols, config.n_values, config.runs, config.seed,
+                  jobs=plan.jobs, cache=plan.cache)
     names = [protocol.name for protocol in protocols]
     table = MarkdownTable(
         title="Table I -- reading throughput (tags/second)",

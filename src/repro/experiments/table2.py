@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.executor import SERIAL_PLAN, ExecutionPlan
 from repro.experiments.protocols import table1_roster
 from repro.experiments.runner import run_cell
 from repro.report.tables import MarkdownTable
@@ -36,11 +37,13 @@ class Table2Result:
         return cell.empty_mean, cell.singleton_mean, cell.collision_mean
 
 
-def run_table2(config: Table2Config = Table2Config()) -> Table2Result:
+def run_table2(config: Table2Config = Table2Config(),
+               plan: ExecutionPlan = SERIAL_PLAN) -> Table2Result:
     protocols = table1_roster()
     cells = {
         protocol.name: run_cell(protocol, config.n_tags, config.runs,
-                                config.seed + index)
+                                config.seed + index,
+                                jobs=plan.jobs, cache=plan.cache)
         for index, protocol in enumerate(protocols)
     }
     table = MarkdownTable(

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.experiments.executor import SERIAL_PLAN, ExecutionPlan
 from repro.experiments.protocols import fcat_variants
 from repro.experiments.runner import sweep
 from repro.report.tables import MarkdownTable
@@ -40,9 +41,11 @@ class Table3Result:
         return self.cells[(f"FCAT-{lam}", n)].resolved_fraction
 
 
-def run_table3(config: Table3Config = Table3Config()) -> Table3Result:
+def run_table3(config: Table3Config = Table3Config(),
+               plan: ExecutionPlan = SERIAL_PLAN) -> Table3Result:
     protocols = fcat_variants()
-    cells = sweep(protocols, config.n_values, config.runs, config.seed)
+    cells = sweep(protocols, config.n_values, config.runs, config.seed,
+                  jobs=plan.jobs, cache=plan.cache)
     table = MarkdownTable(
         title="Table III -- tag IDs resolved from collision slots",
         headers=["N"] + [protocol.name for protocol in protocols])

@@ -14,8 +14,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core import Fcat, optimal_omega
+from repro.experiments.executor import (
+    SERIAL_PLAN,
+    CellSpec,
+    ExecutionPlan,
+    execute_cells,
+)
 from repro.experiments.protocols import PAPER_FRAME_SIZE
-from repro.experiments.runner import run_cell
 from repro.report.tables import MarkdownTable
 
 
@@ -50,7 +55,8 @@ class Table4Result:
     table: MarkdownTable
 
 
-def run_table4(config: Table4Config = Table4Config()) -> Table4Result:
+def run_table4(config: Table4Config = Table4Config(),
+               plan: ExecutionPlan = SERIAL_PLAN) -> Table4Result:
     searches: dict[int, OmegaSearch] = {}
     table = MarkdownTable(
         title="Table IV -- computed vs simulated-optimal omega (N = "
@@ -59,17 +65,22 @@ def run_table4(config: Table4Config = Table4Config()) -> Table4Result:
                  "computed omega", "FCAT throughput"])
     for index, lam in enumerate(config.lams):
         seed = config.seed + 1000 * index
-        throughputs = []
-        for grid_index, omega in enumerate(config.omega_grid):
-            protocol = Fcat(lam=lam, frame_size=PAPER_FRAME_SIZE, omega=omega)
-            cell = run_cell(protocol, config.n_tags, config.runs,
-                            seed + grid_index)
-            throughputs.append(cell.throughput_mean)
-        best_index = int(np.argmax(throughputs))
         computed = optimal_omega(lam)
-        computed_cell = run_cell(
-            Fcat(lam=lam, frame_size=PAPER_FRAME_SIZE, omega=computed),
-            config.n_tags, config.runs, seed + 999)
+        specs = [
+            CellSpec(protocol=Fcat(lam=lam, frame_size=PAPER_FRAME_SIZE,
+                                   omega=omega),
+                     n_tags=config.n_tags, runs=config.runs,
+                     seed=seed + grid_index)
+            for grid_index, omega in enumerate(config.omega_grid)
+        ]
+        specs.append(CellSpec(
+            protocol=Fcat(lam=lam, frame_size=PAPER_FRAME_SIZE,
+                          omega=computed),
+            n_tags=config.n_tags, runs=config.runs, seed=seed + 999))
+        cells = execute_cells(specs, jobs=plan.jobs, cache=plan.cache)
+        computed_cell = cells.pop()
+        throughputs = [cell.throughput_mean for cell in cells]
+        best_index = int(np.argmax(throughputs))
         search = OmegaSearch(
             lam=lam,
             computed_omega=computed,

@@ -61,6 +61,12 @@ class ActiveSet:
         Uses rejection sampling over positions, which is O(k) in expectation
         for ``k`` much smaller than the set and falls back to a permutation
         when ``k`` is a large fraction of the set.
+
+        The returned order is a pure function of the RNG stream and the set's
+        insertion history: rejection-sampled positions are sorted before
+        indexing (a ``set`` of positions would otherwise leak hash-iteration
+        order into slot outcomes, breaking the parallel==serial guarantee the
+        sweep executor relies on).
         """
         n = len(self._items)
         if not 0 <= k <= n:
@@ -75,7 +81,7 @@ class ActiveSet:
         chosen: set[int] = set()
         while len(chosen) < k:
             chosen.add(int(rng.integers(0, n)))
-        return [self._items[p] for p in chosen]
+        return [self._items[p] for p in sorted(chosen)]
 
     def sample_binomial(self, probability: float,
                         rng: np.random.Generator) -> list[Hashable]:

@@ -40,6 +40,24 @@ class TestBitCodec:
         with pytest.raises(ValueError):
             int_to_bits(-1, 8)
 
+    @given(st.integers(0, (1 << 96) - 1), st.integers(0, 96))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_per_bit_reference(self, value, width):
+        """The unpackbits codec must agree with the shift-and-mask loop it
+        replaced, bit for bit, at any width (byte-aligned or not)."""
+        value &= (1 << width) - 1 if width else 0
+        reference = np.array(
+            [(value >> (width - 1 - i)) & 1 for i in range(width)],
+            dtype=np.uint8)
+        encoded = int_to_bits(value, width)
+        assert encoded.dtype == np.uint8
+        assert np.array_equal(encoded, reference)
+        assert bits_to_int(reference) == value
+
+    def test_zero_width(self):
+        assert int_to_bits(0, 0).shape == (0,)
+        assert bits_to_int(np.zeros(0, dtype=np.uint8)) == 0
+
 
 class TestTagIds:
     @given(payloads)

@@ -1,0 +1,130 @@
+"""The sweep executor: parallel == serial, bit for bit, cache or not."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.baselines.dfsa import Dfsa
+from repro.core.fcat import Fcat
+from repro.experiments.executor import (
+    CellSpec,
+    ExecutionPlan,
+    default_jobs,
+    execute_cells,
+)
+from repro.experiments.result_cache import ResultCache
+from repro.experiments.runner import run_cell, sweep
+from repro.sim.channel import ChannelModel
+from repro.sim.result import AggregateResult
+
+
+def assert_cells_identical(a: AggregateResult, b: AggregateResult) -> None:
+    """Field-for-field equality -- no tolerance, the contract is bit-exact."""
+    for field in dataclasses.fields(AggregateResult):
+        assert getattr(a, field.name) == getattr(b, field.name), field.name
+
+
+class TestParallelEqualsSerial:
+    def test_run_cell_parallel_matches_serial(self):
+        serial = run_cell(Fcat(lam=2), n_tags=150, runs=6, seed=11)
+        parallel = run_cell(Fcat(lam=2), n_tags=150, runs=6, seed=11, jobs=4)
+        assert_cells_identical(serial, parallel)
+
+    def test_sweep_parallel_matches_serial_field_for_field(self):
+        protocols = [Dfsa(), Fcat(lam=2)]
+        serial = sweep(protocols, [60, 120], runs=4, seed=3, jobs=1)
+        parallel = sweep(protocols, [60, 120], runs=4, seed=3, jobs=4)
+        assert set(serial) == set(parallel)
+        for key in serial:
+            assert_cells_identical(serial[key], parallel[key])
+
+    def test_noisy_channel_parallel_matches_serial(self):
+        channel = ChannelModel(collision_unusable_prob=0.3)
+        serial = run_cell(Fcat(lam=2), n_tags=100, runs=4, seed=21,
+                          channel=channel)
+        parallel = run_cell(Fcat(lam=2), n_tags=100, runs=4, seed=21,
+                            channel=channel, jobs=3)
+        assert_cells_identical(serial, parallel)
+
+    def test_chunking_does_not_change_results(self):
+        """Different job counts imply different chunk boundaries."""
+        spec = CellSpec(protocol=Dfsa(), n_tags=120, runs=7, seed=9)
+        reference = execute_cells([spec], jobs=1)[0]
+        for jobs in (2, 3, 5):
+            assert_cells_identical(reference,
+                                   execute_cells([spec], jobs=jobs)[0])
+
+    def test_execute_cells_preserves_spec_order(self):
+        specs = [CellSpec(protocol=Dfsa(), n_tags=n, runs=2, seed=4)
+                 for n in (40, 80, 160)]
+        results = execute_cells(specs, jobs=3)
+        assert [cell.n_tags for cell in results] == [40, 80, 160]
+
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError):
+            execute_cells([CellSpec(protocol=Dfsa(), n_tags=10, runs=1,
+                                    seed=1)], jobs=0)
+
+
+class TestCellSpec:
+    def test_key_is_stable(self):
+        a = CellSpec(protocol=Fcat(lam=2), n_tags=100, runs=3, seed=5)
+        b = CellSpec(protocol=Fcat(lam=2), n_tags=100, runs=3, seed=5)
+        assert a.key() == b.key()
+
+    def test_key_separates_configs(self):
+        base = CellSpec(protocol=Fcat(lam=2), n_tags=100, runs=3, seed=5)
+        variants = [
+            CellSpec(protocol=Fcat(lam=3), n_tags=100, runs=3, seed=5),
+            CellSpec(protocol=Fcat(lam=2, omega=1.2), n_tags=100, runs=3,
+                     seed=5),
+            CellSpec(protocol=Fcat(lam=2), n_tags=101, runs=3, seed=5),
+            CellSpec(protocol=Fcat(lam=2), n_tags=100, runs=4, seed=5),
+            CellSpec(protocol=Fcat(lam=2), n_tags=100, runs=3, seed=6),
+            CellSpec(protocol=Fcat(lam=2), n_tags=100, runs=3, seed=5,
+                     channel=ChannelModel(ack_loss_prob=0.1)),
+        ]
+        keys = {base.key()} | {spec.key() for spec in variants}
+        assert len(keys) == len(variants) + 1
+
+
+class TestExecutionPlan:
+    def test_defaults_are_serial_uncached(self):
+        plan = ExecutionPlan()
+        assert plan.jobs == 1 and plan.cache is None
+        assert "serial" in plan.describe() and "cache off" in plan.describe()
+
+    def test_describe_parallel_cached(self, tmp_path):
+        plan = ExecutionPlan(jobs=4,
+                             cache=ResultCache(tmp_path / "cache.json"))
+        assert "4 worker(s)" in plan.describe()
+        assert "cache on" in plan.describe()
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+
+class TestExecutorCacheInterplay:
+    def test_partial_hits_fill_only_misses(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache.json")
+        first = execute_cells(
+            [CellSpec(protocol=Dfsa(), n_tags=50, runs=2, seed=1)],
+            cache=cache)
+        specs = [CellSpec(protocol=Dfsa(), n_tags=50, runs=2, seed=1),
+                 CellSpec(protocol=Dfsa(), n_tags=90, runs=2, seed=1)]
+        combined = execute_cells(specs, cache=cache)
+        assert_cells_identical(first[0], combined[0])
+        assert cache.hits == 1
+        # one miss from the first call's store, one from the second cell
+        assert cache.misses == 2
+
+    def test_cached_parallel_equals_uncached_serial(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache.json")
+        protocols = [Dfsa(), Fcat(lam=2)]
+        cached = sweep(protocols, [50, 100], runs=3, seed=2, jobs=2,
+                       cache=cache)
+        plain = sweep(protocols, [50, 100], runs=3, seed=2)
+        for key in plain:
+            assert_cells_identical(plain[key], cached[key])

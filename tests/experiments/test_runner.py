@@ -41,6 +41,14 @@ class TestRunCell:
 
 
 class TestSweep:
+    def test_duplicate_protocol_name_raises(self):
+        """Regression: two protocols sharing a `.name` used to silently
+        overwrite each other's cell in the result dict."""
+        with pytest.raises(ValueError, match="duplicate sweep cell"):
+            sweep([Dfsa(), Dfsa()], [50], runs=1, seed=1)
+        with pytest.raises(ValueError, match="DFSA"):
+            sweep([Fcat(lam=2), Dfsa(), Dfsa()], [50, 100], runs=1, seed=1)
+
     def test_covers_grid(self):
         cells = sweep([Dfsa(), Fcat(lam=2)], [50, 100], runs=1, seed=1)
         assert set(cells) == {("DFSA", 50), ("DFSA", 100),

@@ -86,6 +86,31 @@ class TestSampling:
     def test_binomial_on_empty_set(self, rng):
         assert ActiveSet().sample_binomial(0.5, rng) == []
 
+    def test_sample_order_is_rng_determined(self):
+        """Same RNG stream -> same returned *order*, not just the same set.
+
+        The rejection-sampling branch used to index through a ``set`` of
+        positions, leaking hash-iteration order into the transmitter order
+        (and thus into slot outcomes).  Positions are now sorted, so the
+        result is a pure function of the draws -- the property the parallel
+        sweep executor's serial==parallel guarantee rests on.
+        """
+        items = [(3, "c"), (1, "a"), (4, "d"), (2, "b"), (9, "e"),
+                 (7, "f"), (5, "g"), (6, "h"), (8, "i"), (0, "j")]
+        for k in (1, 2, 3, 5):  # k <= n // 2: the rejection branch
+            first = ActiveSet(items).sample(
+                k, np.random.default_rng(1234))
+            second = ActiveSet(items).sample(
+                k, np.random.default_rng(1234))
+            assert first == second
+
+    def test_rejection_sample_order_follows_positions(self):
+        """Rejection-sampled items come back in insertion-position order."""
+        active = ActiveSet(range(100))
+        drawn = active.sample(10, np.random.default_rng(7))
+        positions = [list(active).index(item) for item in drawn]
+        assert positions == sorted(positions)
+
 
 class ActiveSetMachine(RuleBasedStateMachine):
     """Model-based check against a plain Python set."""

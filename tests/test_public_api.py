@@ -18,6 +18,9 @@ PACKAGES = [
     "repro.inventory",
     "repro.dynamics",
     "repro.experiments",
+    # A standalone module registered as a public API surface (lint rule
+    # public-api, LintConfig.api_export_modules).
+    "repro.experiments.executor",
     "repro.report",
     "repro.devtools",
 ]
