@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Benchmark harness for the sweep executor (writes ``BENCH_3.json``).
+"""Benchmark harness for the sweep executor (writes ``BENCH_4.json``).
 
 Times representative cells (FCAT-2/3/4 and DFSA at N in {500, 5000, 10000}),
 then races the FCAT sweep three ways: serial (``jobs=1``), parallel
@@ -9,12 +9,18 @@ perf trajectory of the executor is pinned across PRs::
 
     PYTHONPATH=src python scripts/bench.py                  # full grid
     PYTHONPATH=src python scripts/bench.py --smoke          # CI-sized grid
-    PYTHONPATH=src python scripts/bench.py --jobs 8 --out BENCH_3.json
+    PYTHONPATH=src python scripts/bench.py --jobs 8 --out BENCH_4.json
 
 Speedup accounting: ``speedup`` is serial/parallel for the sweep;
 ``best_speedup`` is serial over the fastest non-serial mode (parallel or
 warm cache), which is what a rerun actually experiences.  On a single-core
 machine the parallel leg cannot win, but the warm-cache leg still must.
+
+Schema 2 adds the observability sections: the ``repro.obs`` overhead
+probe on the FCAT-2 N=10000 cell (disabled-path vs enabled-path wall
+time; the disabled path is contracted to stay within a few percent of
+free) and per-worker utilization of the parallel sweep derived from the
+executor's ``chunk_done`` telemetry.
 """
 
 from __future__ import annotations
@@ -35,9 +41,10 @@ from repro.baselines.dfsa import Dfsa  # noqa: E402
 from repro.experiments.executor import default_jobs  # noqa: E402
 from repro.experiments.result_cache import ResultCache  # noqa: E402
 from repro.experiments.runner import run_cell, sweep  # noqa: E402
+from repro.obs.scope import observe  # noqa: E402
 
-SCHEMA = "repro-bench/1"
-BENCH_NAME = "BENCH_3"
+SCHEMA = "repro-bench/2"
+BENCH_NAME = "BENCH_4"
 
 
 def bench_cells(n_values: list[int], runs: int, seed: int) -> list[dict]:
@@ -60,6 +67,62 @@ def bench_cells(n_values: list[int], runs: int, seed: int) -> list[dict]:
     return rows
 
 
+def bench_observability(n_tags: int, runs: int, seed: int,
+                        repeats: int = 3) -> dict:
+    """Overhead probe: the same cell with the scope absent vs installed.
+
+    The disabled path is the acceptance-critical number -- instrumented
+    code pays one ``is None`` test per hook while no scope is active, so
+    it must time indistinguishably from uninstrumented code.  Best-of-N
+    wall clock on the FCAT-2 reference cell, both ways.
+    """
+    protocol = Fcat(lam=2)
+
+    def run_once(enabled: bool) -> float:
+        started = time.perf_counter()
+        if enabled:
+            with observe():
+                run_cell(protocol, n_tags, runs, seed)
+        else:
+            run_cell(protocol, n_tags, runs, seed)
+        return time.perf_counter() - started
+
+    run_once(False)  # warm caches/allocators before timing either leg
+    disabled_s = min(run_once(False) for _ in range(repeats))
+    enabled_s = min(run_once(True) for _ in range(repeats))
+    overhead_pct = 100.0 * (enabled_s - disabled_s) / disabled_s
+    print(f"  obs probe FCAT-2 N={n_tags}: disabled {disabled_s:.4f}s, "
+          f"enabled {enabled_s:.4f}s ({overhead_pct:+.1f}%)",
+          file=sys.stderr)
+    stats = {
+        "protocol": protocol.name,
+        "n_tags": n_tags,
+        "runs": runs,
+        "repeats": repeats,
+        "disabled_s": round(disabled_s, 4),
+        "enabled_s": round(enabled_s, 4),
+        "enabled_overhead_pct": round(overhead_pct, 2),
+    }
+    # Pin the disabled path against the pre-observability benchmark: the
+    # committed BENCH_3 recorded this exact cell's serial time before any
+    # instrumentation existed, so the delta is the disabled-path cost.
+    reference = Path(__file__).resolve().parent.parent / "BENCH_3.json"
+    if reference.is_file() and n_tags == 10000:
+        bench3 = json.loads(reference.read_text())
+        match = [cell for cell in bench3.get("cells", [])
+                 if cell["protocol"] == protocol.name
+                 and cell["n_tags"] == n_tags and cell["runs"] == runs]
+        if match:
+            baseline_s = match[0]["serial_s"]
+            stats["bench3_serial_s"] = baseline_s
+            stats["disabled_vs_bench3_pct"] = round(
+                100.0 * (disabled_s - baseline_s) / baseline_s, 2)
+            print(f"  disabled path vs BENCH_3 baseline {baseline_s:.4f}s: "
+                  f"{stats['disabled_vs_bench3_pct']:+.1f}%",
+                  file=sys.stderr)
+    return stats
+
+
 def bench_sweep(n_values: list[int], runs: int, seed: int, jobs: int,
                 cache_path: Path) -> dict:
     """Race the FCAT sweep: serial vs parallel vs content-addressed cache."""
@@ -76,6 +139,24 @@ def bench_sweep(n_values: list[int], runs: int, seed: int, jobs: int,
     print(f"  sweep jobs={jobs:<4} {parallel_s:7.2f}s", file=sys.stderr)
     if parallel != serial:
         raise AssertionError("parallel sweep diverged from serial sweep")
+
+    # A separate observed parallel leg: worker utilization comes from the
+    # executor's chunk_done telemetry (busy worker-seconds over the pool's
+    # wall-time capacity), leaving the timing legs above unperturbed.
+    with observe() as observation:
+        started = time.perf_counter()
+        observed = sweep(protocols, n_values, runs, seed, jobs=jobs)
+        observed_s = time.perf_counter() - started
+    if observed != serial:
+        raise AssertionError("observed sweep diverged from serial sweep")
+    busy_s = sum(event.fields["duration_s"]
+                 for event in observation.events.events
+                 if event.name == "chunk_done")
+    workers = observation.metrics.snapshot()["gauges"]["executor.workers"]
+    utilization = busy_s / (observed_s * workers) if observed_s else 0.0
+    print(f"  sweep observed  {observed_s:7.2f}s "
+          f"({workers:g} workers, {utilization:.0%} utilized)",
+          file=sys.stderr)
 
     cold_cache = ResultCache(cache_path)
     started = time.perf_counter()
@@ -105,13 +186,17 @@ def bench_sweep(n_values: list[int], runs: int, seed: int, jobs: int,
         "best_speedup": round(serial_s / min(parallel_s, warm_s), 3),
         "cache_hits": warm_cache.hits,
         "cache_misses": warm_cache.misses,
+        "observed_parallel_s": round(observed_s, 4),
+        "workers": int(workers),
+        "worker_busy_s": round(busy_s, 4),
+        "worker_utilization": round(utilization, 4),
     }
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        description="Time the sweep executor and write BENCH_3.json")
-    parser.add_argument("--out", type=Path, default=Path("BENCH_3.json"),
+        description="Time the sweep executor and write BENCH_4.json")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_4.json"),
                         help="where to write the JSON artefact")
     parser.add_argument("--jobs", type=int, default=0,
                         help="parallel worker count (0 = all cores)")
@@ -127,15 +212,17 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     jobs = args.jobs if args.jobs > 0 else default_jobs()
     if args.smoke:
-        cell_grid, sweep_grid, runs = [200, 500], [200, 500], 3
+        cell_grid, sweep_grid, runs, obs_n = [200, 500], [200, 500], 3, 500
     else:
-        cell_grid, sweep_grid, runs = [500, 5000, 10000], [500, 5000], \
-            args.runs
+        cell_grid, sweep_grid, runs, obs_n = [500, 5000, 10000], \
+            [500, 5000], args.runs, 10000
     cache_path = args.out.with_suffix(".cache.json")
     if cache_path.exists():
         cache_path.unlink()  # the cold leg must actually be cold
     print(f"[{BENCH_NAME}] cells (serial, runs={runs})", file=sys.stderr)
     cells = bench_cells(cell_grid, runs, args.seed)
+    print(f"[{BENCH_NAME}] observability overhead probe", file=sys.stderr)
+    observability = bench_observability(obs_n, runs, args.seed)
     print(f"[{BENCH_NAME}] FCAT sweep (N={sweep_grid}, jobs={jobs})",
           file=sys.stderr)
     sweep_stats = bench_sweep(sweep_grid, runs, args.seed + 1, jobs,
@@ -153,11 +240,14 @@ def main(argv: list[str] | None = None) -> int:
             "numpy": np.__version__,
         },
         "cells": cells,
+        "observability": observability,
         "sweep": sweep_stats,
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"[{BENCH_NAME}] sweep speedup x{sweep_stats['speedup']}, "
           f"warm cache {sweep_stats['warm_fraction']:.1%} of cold, "
+          f"utilization {sweep_stats['worker_utilization']:.0%}, "
+          f"obs overhead {observability['enabled_overhead_pct']:+.1f}%, "
           f"wrote {args.out}", file=sys.stderr)
     return 0
 

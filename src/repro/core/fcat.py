@@ -26,6 +26,7 @@ from repro.air.timing import ICODE_TIMING, TimingModel
 from repro.core.collision import RecordStore
 from repro.core.estimator import EmbeddedEstimator
 from repro.core.optimal import optimal_omega
+from repro.obs import scope
 from repro.sim.active_set import ActiveSet
 from repro.sim.base import TagReadingProtocol
 from repro.sim.channel import PERFECT_CHANNEL, ChannelModel
@@ -149,6 +150,10 @@ class _FcatSession:
                              + 1000)
         self.trace = trace
         self._learned_this_slot: list[int] = []
+        #: The active observability collector, fetched once per session so
+        #: the disabled path costs one ``is None`` test per frame.
+        self.obs = scope.active()
+        self.name = name
 
     def run(self) -> ReadingResult:
         while True:
@@ -189,6 +194,7 @@ class _FcatSession:
                 self.estimator.update(self.config.frame_size, p,
                                       identified_at_start,
                                       self.store.learned_count, n_empty=0)
+                self._observe_frame(p, slots_run, n_empty, n_collision)
                 return n_empty
         self.estimator.update(n_collision, p, identified_at_start,
                               self.store.learned_count, n_empty=n_empty)
@@ -196,7 +202,27 @@ class _FcatSession:
         if self.trace is not None:
             self.trace.record_estimate(self.result.frames - 1,
                                        self.estimator.remaining())
+        self._observe_frame(p, slots_run, n_empty, n_collision)
         return n_empty
+
+    def _observe_frame(self, p: float, slots_run: int, n_empty: int,
+                       n_collision: int) -> None:
+        """Telemetry for one finished (or bootstrap-aborted) frame."""
+        obs = self.obs
+        if obs is None:
+            return
+        frame_index = self.result.frames - 1
+        obs.emit("frame", protocol=self.name, frame_index=frame_index,
+                 report_probability=p, empty=n_empty,
+                 singleton=slots_run - n_empty - n_collision,
+                 collision=n_collision)
+        estimate = self.estimator.remaining()
+        actual = len(self.active)
+        obs.emit("estimator_update", protocol=self.name,
+                 frame_index=frame_index, estimate=estimate,
+                 actual_remaining=actual, error=estimate - actual)
+        obs.observe_value("estimator.rel_error",
+                          abs(estimate - actual) / max(actual, 1))
 
     def _next_slot(self) -> int:
         if self.slot_index >= self.max_slots:
@@ -281,6 +307,10 @@ class _FcatSession:
             self.result.index_announcements += 1
             self._learned_this_slot.append(tag)
             self._ack(tag)
+        if self.obs is not None and resolved:
+            self.obs.emit("anc_resolution", protocol=self.name,
+                          slot_index=self.slot_index - 1,
+                          resolved=len(resolved))
 
     def _ack(self, tag: int) -> None:
         if self.channel.ack_received(self.rng):
@@ -299,6 +329,9 @@ class _FcatSession:
         transmitters = list(self.active)
         outcome = self._observe(slot, transmitters)
         self._trace_slot(slot, outcome, 1.0, probe=True)
+        if self.obs is not None:
+            self.obs.emit("termination_probe", protocol=self.name,
+                          slot_index=slot, outcome=outcome)
         if outcome == "empty":
             return True
         if outcome == "collision":

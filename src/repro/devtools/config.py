@@ -87,6 +87,11 @@ class LintConfig:
     #: and they may be listed in the ``PACKAGES`` manifest.
     api_export_modules: tuple[str, ...] = (
         "repro/experiments/executor.py",
+        "repro/obs/events.py",
+        "repro/obs/manifest.py",
+        "repro/obs/metrics.py",
+        "repro/obs/report.py",
+        "repro/obs/scope.py",
     )
 
     # --- R5: units/dimension analysis -----------------------------------
@@ -132,6 +137,12 @@ class LintConfig:
     #: Document (relative to the repo root) that must mention every
     #: experiment by its registry name.
     experiment_doc: str = "EXPERIMENTS.md"
+
+    # --- R9: event-schema conformance ------------------------------------
+    #: Module holding the observability event schema.
+    event_schema_module: str = "obs/events.py"
+    #: Name of the schema dict (event name -> spec) in that module.
+    event_schema_registry: str = "EVENT_SCHEMA"
 
 
 DEFAULT_CONFIG = LintConfig()

@@ -4,7 +4,8 @@ Importing this package populates the registry: each rule module applies the
 :func:`~repro.devtools.rules.registry.register` decorator at import time.
 R1--R4 are the per-file/per-project families from the first devtools
 iteration; R5--R8 (units, probability domain, rng reachability, experiment
-registry) are the whole-program families that run over the pass-1 index.
+registry) are the whole-program families that run over the pass-1 index;
+R9 (event-schema) pins observability emit sites to the declared schema.
 """
 
 from repro.devtools.rules.base import (
@@ -24,6 +25,7 @@ from repro.devtools.rules import api as _api
 from repro.devtools.rules import determinism as _determinism
 from repro.devtools.rules import experiments as _experiments
 from repro.devtools.rules import numeric as _numeric
+from repro.devtools.rules import observability as _observability
 from repro.devtools.rules import probability as _probability
 from repro.devtools.rules import protocol as _protocol
 from repro.devtools.rules import reachability as _reachability

@@ -1,0 +1,132 @@
+"""R9 -- event-schema conformance for the observability stream.
+
+:mod:`repro.obs.events` validates every emitted event at runtime against
+``EVENT_SCHEMA`` -- but only on runs where observability is switched on.
+An instrumentation call site with a typo'd event name or a drifted field
+set therefore ships silently and only explodes (or worse, records garbage)
+on the first ``--metrics-out`` run that exercises it.  This rule moves the
+check to lint time:
+
+* every ``*.emit("name", ...)`` call with a constant string name, anywhere
+  in the tree outside the schema module itself, must name a key of the
+  ``EVENT_SCHEMA`` dict literal;
+* when the call passes only plain keyword arguments (no ``**kwargs``),
+  their names must be exactly the declared field set of that event.
+
+Calls whose event name is not a string constant (the forwarding shims in
+``obs.scope``, the ``EventStream.emit`` definition) are out of scope --
+they re-validate at runtime anyway.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.config import LintConfig, path_matches
+from repro.devtools.findings import Finding
+from repro.devtools.rules.base import ModuleContext, ProjectContext, Rule
+from repro.devtools.rules.registry import register
+
+
+@register
+class EventSchema(Rule):
+    """Every constant-name ``emit()`` call must match ``EVENT_SCHEMA``."""
+
+    name = "event-schema"
+    description = ("every event name emitted through repro.obs must be "
+                   "declared in the EVENT_SCHEMA registry, with keyword "
+                   "fields matching the declared spec, so telemetry call "
+                   "sites cannot drift from the schema they are validated "
+                   "against at runtime")
+
+    def check_project(self, project: ProjectContext,
+                      config: LintConfig) -> Iterable[Finding]:
+        schema_module = project.module_at(config.event_schema_module)
+        if schema_module is None:
+            return
+        schema = self._schema_fields(schema_module, config)
+        if schema is None:
+            yield self.finding(
+                schema_module, 1,
+                f"`{config.event_schema_registry}` in "
+                f"{config.event_schema_module} is not a dict literal with "
+                "constant string keys; the event schema must be statically "
+                "readable")
+            return
+        for module in project.modules:
+            if path_matches(module.relpath, config.event_schema_module):
+                continue  # the schema module validates itself at runtime
+            yield from self._check_module(module, schema, config)
+
+    @staticmethod
+    def _schema_fields(module: ModuleContext, config: LintConfig
+                       ) -> dict[str, set[str] | None] | None:
+        """Event name -> declared field names (None: not statically known).
+
+        Accepts both ``EVENT_SCHEMA = {...}`` and the annotated form; values
+        built by a ``**kwargs`` helper (``_spec(protocol="str", ...)``)
+        contribute their keyword names as the field set.
+        """
+        for node in module.tree.body:
+            target = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target, value = node.target, node.value
+            if not (isinstance(target, ast.Name)
+                    and target.id == config.event_schema_registry):
+                continue
+            if not isinstance(value, ast.Dict):
+                return None
+            schema: dict[str, set[str] | None] = {}
+            for key, spec in zip(value.keys, value.values):
+                if not (isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)):
+                    return None
+                fields: set[str] | None = None
+                if isinstance(spec, ast.Call) \
+                        and all(kw.arg is not None for kw in spec.keywords):
+                    fields = {kw.arg for kw in spec.keywords
+                              if kw.arg is not None}
+                schema[key.value] = fields
+            return schema
+        return None
+
+    def _check_module(self, module: ModuleContext,
+                      schema: dict[str, set[str] | None],
+                      config: LintConfig) -> Iterable[Finding]:
+        if ".emit(" not in module.source:
+            return  # don't parse modules that cannot have a call site
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "emit"
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)):
+                continue
+            name = node.args[0].value
+            if name not in schema:
+                yield self.finding(
+                    module, node.lineno,
+                    f"emit of undeclared event {name!r}; declare it in "
+                    f"`{config.event_schema_registry}` "
+                    f"({config.event_schema_module}) or fix the name")
+                continue
+            declared = schema[name]
+            if declared is None or len(node.args) > 1 \
+                    or any(kw.arg is None for kw in node.keywords):
+                continue  # **kwargs or positional fields: runtime's job
+            passed = {kw.arg for kw in node.keywords if kw.arg is not None}
+            missing = sorted(declared - passed)
+            extra = sorted(passed - declared)
+            if missing or extra:
+                detail = "; ".join(
+                    part for part in (
+                        f"missing {missing}" if missing else "",
+                        f"undeclared {extra}" if extra else "") if part)
+                yield self.finding(
+                    module, node.lineno,
+                    f"event {name!r} emitted with fields that drift from "
+                    f"its declared spec: {detail}")

@@ -10,6 +10,14 @@ also writes it to ``<out>/<name>.md``.  ``--jobs`` fans the simulation runs
 out across worker processes (results are bit-for-bit identical to serial);
 repeated invocations are served from the content-addressed result cache
 unless ``--no-result-cache`` is given.
+
+Observability (:mod:`repro.obs`): ``--metrics-out metrics.jsonl`` collects
+the structured event stream plus a final metrics snapshot and writes them
+as JSONL; ``--manifest-out manifest.json`` records the run manifest
+(command, git SHA, versions, per-cell config fingerprints and timings).
+``python -m repro.obs.report metrics.jsonl --manifest manifest.json``
+validates and summarizes both.  ``--smoke`` shrinks runs and the table1
+grid to CI size.
 """
 
 from __future__ import annotations
@@ -17,8 +25,14 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from contextlib import nullcontext
 from dataclasses import replace
 from pathlib import Path
+
+from repro.obs.events import write_jsonl
+from repro.obs.manifest import build_manifest, write_manifest
+from repro.obs.report import summarize
+from repro.obs.scope import Observation, observe
 
 from repro.experiments.ablations import (
     AblationCaptureConfig,
@@ -51,6 +65,8 @@ from repro.experiments.table4 import Table4Config, run_table4
 def _render_table1(args: argparse.Namespace, plan: ExecutionPlan) -> str:
     if args.paper_scale:
         config = Table1Config.paper_scale(runs=args.runs)
+    elif args.smoke:
+        config = Table1Config(n_values=[500, 1000], runs=args.runs)
     else:
         config = Table1Config(runs=args.runs)
     return run_table1(config, plan).table.render()
@@ -190,6 +206,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--result-cache", type=Path, default=None,
                         help="path of the result-cache file (default: "
                              "./.repro-results-cache.json)")
+    parser.add_argument("--metrics-out", type=Path, default=None,
+                        help="write the repro.obs event stream (plus a "
+                             "final metrics snapshot) to this JSONL file")
+    parser.add_argument("--manifest-out", type=Path, default=None,
+                        help="write the run manifest (command, git SHA, "
+                             "versions, per-cell timings) to this JSON file")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: caps --runs at 2 and shrinks "
+                             "the table1 grid to N in {500, 1000}")
     return parser
 
 
@@ -205,21 +230,52 @@ def build_plan(args: argparse.Namespace) -> ExecutionPlan:
     return ExecutionPlan(jobs=jobs, cache=cache)
 
 
+def _write_observability(args: argparse.Namespace, plan: ExecutionPlan,
+                         observation: Observation, command: list[str],
+                         started_unix: float, wall_time_s: float) -> None:
+    """Write ``--metrics-out`` / ``--manifest-out`` and print the summary."""
+    observation.emit("metrics_snapshot",
+                     metrics=observation.metrics.snapshot())
+    manifest = build_manifest(
+        observation, command=command,
+        started_unix=started_unix, jobs=plan.jobs, wall_time_s=wall_time_s)
+    if args.metrics_out is not None:
+        write_jsonl(args.metrics_out, observation.events)
+        print(f"[metrics: {len(observation.events)} events -> "
+              f"{args.metrics_out}]", file=sys.stderr)
+    if args.manifest_out is not None:
+        write_manifest(args.manifest_out, manifest)
+        print(f"[manifest: {len(manifest.cells)} cells -> "
+              f"{args.manifest_out}]", file=sys.stderr)
+    print(summarize(observation.events.events, manifest), file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
+    command = ["repro-experiments",
+               *(argv if argv is not None else sys.argv[1:])]
     args = build_parser().parse_args(argv)
+    if args.smoke:
+        args.runs = min(args.runs, 2)
     plan = build_plan(args)
     names = sorted(EXPERIMENTS) if "all" in args.experiments \
         else list(dict.fromkeys(args.experiments))
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
-    for name in names:
-        started = time.time()
-        output = EXPERIMENTS[name](args, plan)
-        elapsed = time.time() - started
-        print(output)
-        print(f"[{name} finished in {elapsed:.1f}s]", file=sys.stderr)
-        if args.out is not None:
-            (args.out / f"{name}.md").write_text(output + "\n")
+    observing = args.metrics_out is not None or args.manifest_out is not None
+    observation = Observation() if observing else None
+    started_unix = time.time()
+    with observe(observation) if observing else nullcontext():
+        for name in names:
+            started = time.time()
+            output = EXPERIMENTS[name](args, plan)
+            elapsed = time.time() - started
+            print(output)
+            print(f"[{name} finished in {elapsed:.1f}s]", file=sys.stderr)
+            if args.out is not None:
+                (args.out / f"{name}.md").write_text(output + "\n")
+    if observation is not None:
+        _write_observability(args, plan, observation, command, started_unix,
+                             wall_time_s=time.time() - started_unix)
     if plan.cache is not None:
         print(f"[{plan.cache.stats()}]", file=sys.stderr)
     return 0

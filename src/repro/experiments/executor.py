@@ -28,6 +28,7 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -36,12 +37,16 @@ import numpy as np
 from repro.air.timing import ICODE_TIMING, TimingModel
 from repro.experiments.result_cache import ResultCache, cell_key
 from repro.experiments.runner import run_single, spawn_run_seeds
+from repro.obs import scope
+from repro.obs.manifest import CellRun
+from repro.obs.scope import Observation
 from repro.sim.base import TagReadingProtocol
 from repro.sim.channel import PERFECT_CHANNEL, ChannelModel
 from repro.sim.result import AggregateResult, ReadingResult, aggregate
 
 __all__ = [
     "CellSpec",
+    "ChunkOutcome",
     "ExecutionPlan",
     "default_jobs",
     "execute_cells",
@@ -106,22 +111,60 @@ class _ChunkTask:
     children: tuple[np.random.SeedSequence, ...]
     channel: ChannelModel
     timing: TimingModel
+    #: Collect telemetry inside the worker and ship it back.  Decided in
+    #: the parent (workers spawned without the parent's scope still know).
+    collect: bool = False
+    #: ``time.time()`` at task creation; queue wait is measured from here.
+    submitted_unix: float = 0.0
 
 
-def run_chunk(task: _ChunkTask) -> list[ReadingResult]:
+@dataclass
+class ChunkOutcome:
+    """What one chunk returns: results plus worker-side telemetry.
+
+    ``observation`` holds the metrics/events collected *inside* the worker
+    (``None`` when observability is off); the parent folds these back in
+    deterministic chunk order, and the metrics merge itself is
+    order-independent, so telemetry never disturbs the parallel == serial
+    bit-for-bit guarantee.
+    """
+
+    results: list[ReadingResult]
+    observation: Observation | None
+    duration_s: float
+    queue_wait_s: float
+
+
+def run_chunk(task: _ChunkTask) -> ChunkOutcome:
     """Worker entry point: run one chunk's sessions in seed order.
 
     Registered as a ``rng_public_roots`` seed root for the lint engine's
     R7 reachability walk: in a worker process this *is* the outermost frame
     above the seeded simulation path.
     """
-    return [run_single(task.protocol, task.n_tags, child,
-                       channel=task.channel, timing=task.timing)
-            for child in task.children]
+    started = time.time()
+    queue_wait = max(started - task.submitted_unix, 0.0) \
+        if task.submitted_unix else 0.0
+    observation: Observation | None = None
+    if task.collect:
+        # A private collector per chunk, whether this frame runs in a pool
+        # worker or in-process: the parent merges outcomes identically
+        # either way, so serial and parallel runs emit the same stream.
+        with scope.observe() as observation:
+            results = [run_single(task.protocol, task.n_tags, child,
+                                  channel=task.channel, timing=task.timing)
+                       for child in task.children]
+    else:
+        results = [run_single(task.protocol, task.n_tags, child,
+                              channel=task.channel, timing=task.timing)
+                   for child in task.children]
+    return ChunkOutcome(results=results, observation=observation,
+                        duration_s=time.time() - started,
+                        queue_wait_s=queue_wait)
 
 
 def _chunk_tasks(specs: Sequence[CellSpec], indices: Sequence[int],
-                 jobs: int) -> list[_ChunkTask]:
+                 jobs: int, collect: bool = False) -> list[_ChunkTask]:
     """Split every pending cell's runs into chunks for the pool.
 
     Chunk boundaries are pure mechanics -- results are reassembled by
@@ -132,6 +175,7 @@ def _chunk_tasks(specs: Sequence[CellSpec], indices: Sequence[int],
     total_runs = sum(specs[i].runs for i in indices)
     target_tasks = max(1, 4 * jobs)
     chunk_size = max(1, math.ceil(total_runs / target_tasks))
+    submitted = time.time()
     tasks: list[_ChunkTask] = []
     for cell_index in indices:
         spec = specs[cell_index]
@@ -146,6 +190,8 @@ def _chunk_tasks(specs: Sequence[CellSpec], indices: Sequence[int],
                 children=tuple(children[start:start + chunk_size]),
                 channel=spec.channel,
                 timing=spec.timing,
+                collect=collect,
+                submitted_unix=submitted,
             ))
     return tasks
 
@@ -159,14 +205,32 @@ def _pool_context() -> multiprocessing.context.BaseContext | None:
     return None
 
 
-def _run_tasks(tasks: list[_ChunkTask], jobs: int) -> list[list[ReadingResult]]:
+def _run_tasks(tasks: list[_ChunkTask], jobs: int,
+               obs: Observation | None = None) -> list[ChunkOutcome]:
     """Run chunk tasks serially or across a pool; order follows ``tasks``."""
     context = _pool_context() if jobs > 1 else None
     if context is None or jobs <= 1 or len(tasks) <= 1:
+        if obs is not None:
+            obs.set_gauge("executor.workers", 1)
         return [run_chunk(task) for task in tasks]
     workers = min(jobs, len(tasks))
+    if obs is not None:
+        obs.set_gauge("executor.workers", workers)
+        obs.emit("pool_start", workers=workers, tasks=len(tasks),
+                 start_method=context.get_start_method())
     with context.Pool(processes=workers) as pool:
         return pool.map(run_chunk, tasks, chunksize=1)
+
+
+def _record_cell(obs: Observation, spec: CellSpec, key: str,
+                 elapsed_s: float, cached: bool) -> None:
+    """One cell's manifest record plus its ``cell_done`` event."""
+    obs.cells.append(CellRun(
+        key=key, protocol=spec.protocol.name, n_tags=spec.n_tags,
+        runs=spec.runs, seed=spec.seed, elapsed_s=elapsed_s, cached=cached))
+    obs.emit("cell_done", key=key, protocol=spec.protocol.name,
+             n_tags=spec.n_tags, runs=spec.runs, seed=spec.seed,
+             elapsed_s=elapsed_s, cached=cached)
 
 
 def execute_cells(specs: Sequence[CellSpec], jobs: int = 1,
@@ -175,33 +239,66 @@ def execute_cells(specs: Sequence[CellSpec], jobs: int = 1,
 
     The contract: the returned list is element-for-element identical to
     ``[aggregate([run_single(...) for child in spawn_run_seeds(...)])]`` --
-    the serial loop -- for any ``jobs`` and any cache state.
+    the serial loop -- for any ``jobs`` and any cache state.  Under an
+    active ``repro.obs`` scope the executor additionally reports per-chunk
+    worker accounting and per-cell timings -- including cache-served cells,
+    which would otherwise leave no telemetry at all on a warm run.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    obs = scope.active()
     results: list[AggregateResult | None] = [None] * len(specs)
     pending: list[int] = []
     keys: dict[int, str] = {}
     for index, spec in enumerate(specs):
         if cache is not None:
             keys[index] = spec.key()
-            hit = cache.lookup(keys[index])
+            lookup_started = time.perf_counter()
+            hit = cache.lookup(keys[index])  # emits cache_hit / cache_miss
             if hit is not None:
                 results[index] = hit
+                if obs is not None:
+                    obs.count("executor.cells.cached")
+                    _record_cell(obs, spec, keys[index],
+                                 time.perf_counter() - lookup_started,
+                                 cached=True)
                 continue
         pending.append(index)
     if pending:
-        tasks = _chunk_tasks(specs, pending, jobs)
-        chunk_results = _run_tasks(tasks, jobs)
-        per_cell: dict[int, list[tuple[int, list[ReadingResult]]]] = {
+        tasks = _chunk_tasks(specs, pending, jobs, collect=obs is not None)
+        outcomes = _run_tasks(tasks, jobs, obs)
+        per_cell: dict[int, list[tuple[int, ChunkOutcome]]] = {
             index: [] for index in pending}
-        for task, chunk in zip(tasks, chunk_results):
-            per_cell[task.cell_index].append((task.chunk_index, chunk))
+        for task, outcome in zip(tasks, outcomes):
+            per_cell[task.cell_index].append((task.chunk_index, outcome))
+            if obs is not None:
+                if outcome.observation is not None:
+                    # Deterministic task order here; the metrics fold is
+                    # commutative besides, so chunk completion order can
+                    # never leak into the merged registry.
+                    obs.merge(outcome.observation)
+                obs.count("executor.chunks")
+                obs.observe_value("chunk.duration_s", outcome.duration_s)
+                obs.observe_value("chunk.queue_wait_s",
+                                  outcome.queue_wait_s)
+                obs.emit("chunk_done", cell_index=task.cell_index,
+                         chunk_index=task.chunk_index,
+                         runs=len(task.children),
+                         duration_s=outcome.duration_s,
+                         queue_wait_s=outcome.queue_wait_s)
         for index in pending:
             ordered: list[ReadingResult] = []
-            for _, chunk in sorted(per_cell[index]):
-                ordered.extend(chunk)
+            elapsed = 0.0
+            for _, outcome in sorted(per_cell[index],
+                                     key=lambda pair: pair[0]):
+                ordered.extend(outcome.results)
+                elapsed += outcome.duration_s
             results[index] = aggregate(ordered)
+            if obs is not None:
+                obs.count("executor.cells.computed")
+                _record_cell(obs, specs[index],
+                             keys.get(index) or specs[index].key(),
+                             elapsed, cached=False)
             if cache is not None:
                 cache.store(keys[index], results[index])
         if cache is not None:

@@ -28,6 +28,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.air.timing import TimingModel
+from repro.obs import scope
 from repro.sim.base import TagReadingProtocol
 from repro.sim.channel import ChannelModel
 from repro.sim.result import AggregateResult
@@ -155,10 +156,17 @@ class ResultCache:
     def _load(self) -> None:
         try:
             payload = json.loads(self.path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+        except OSError:
+            return  # no cache file yet: a cold start, not an invalidation
+        except ValueError:
+            scope.emit("cache_invalidated", path=str(self.path),
+                       reason="unparseable cache file")
             return
         if not isinstance(payload, dict) \
                 or payload.get("signature") != self.signature:
+            scope.emit("cache_invalidated", path=str(self.path),
+                       reason="signature mismatch (source tree or schema "
+                              "changed)")
             return
         try:
             self._entries = {
@@ -166,16 +174,28 @@ class ResultCache:
                 for key, entry in payload.get("entries", {}).items()}
         except (KeyError, TypeError, ValueError):
             self._entries = {}
+            scope.emit("cache_invalidated", path=str(self.path),
+                       reason="entry shape mismatch")
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def lookup(self, key: str) -> AggregateResult | None:
+        """Serve ``key`` if stored; every probe is counted and emitted.
+
+        The hit path still reports telemetry: a warm run short-circuits the
+        simulation, so without these events observability would go dark
+        exactly when the cache is doing its job.
+        """
         entry = self._entries.get(key)
         if entry is not None:
             self.hits += 1
+            scope.inc("result_cache.hits")
+            scope.emit("cache_hit", key=key)
             return entry
         self.misses += 1
+        scope.inc("result_cache.misses")
+        scope.emit("cache_miss", key=key)
         return None
 
     def store(self, key: str, result: AggregateResult) -> None:

@@ -74,6 +74,7 @@ def run_single(protocol: TagReadingProtocol, n_tags: int,
         raise RuntimeError(
             f"{protocol.name} read {result.n_read}/{result.n_tags} tags "
             "on a perfect channel")
+    protocol.observe_session(result)
     return result
 
 

@@ -1,0 +1,206 @@
+"""Structured event stream: declared schemas, validation, JSONL sink.
+
+Every telemetry event the simulator can emit is declared up front in
+:data:`EVENT_SCHEMA` -- event name to :class:`EventSpec` (field name to
+field kind).  Emission validates against the spec, so an event stream that
+reached a sink is guaranteed to parse back; the lint engine's
+``event-schema`` rule (R9) statically pins every ``emit("name", ...)`` call
+site in the source tree to this registry, so the schema and its emitters
+cannot drift apart.
+
+The on-disk form is JSONL: one event per line as
+``{"seq": n, "event": name, <field>: <value>...}``.  ``seq`` is assigned by
+the owning :class:`EventStream` -- when the parallel executor folds worker
+streams back into the parent, events are re-sequenced in deterministic
+chunk order, so a serial run and a parallel run produce the same ordering.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "Event",
+    "EventSpec",
+    "EventStream",
+    "read_jsonl",
+    "validate_event",
+    "write_jsonl",
+]
+
+#: Field kinds an event schema may declare, mapped to accepting types.
+#: ``bool`` precedes the numeric kinds because it subclasses ``int``.
+_KINDS: dict[str, tuple[type, ...]] = {
+    "str": (str,),
+    "bool": (bool,),
+    "int": (int,),
+    "float": (int, float),
+    "mapping": (dict,),
+}
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """Declared shape of one event: ``((field, kind), ...)``."""
+
+    fields: tuple[tuple[str, str], ...]
+
+    def __post_init__(self) -> None:
+        for name, kind in self.fields:
+            if kind not in _KINDS:
+                raise ValueError(f"unknown field kind {kind!r} for {name!r}")
+
+    @property
+    def field_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.fields)
+
+
+def _spec(**fields: str) -> EventSpec:
+    return EventSpec(fields=tuple(fields.items()))
+
+
+#: The full event vocabulary.  Keys must be string literals: the R9 lint
+#: rule reads this dict statically to check every ``emit()`` call site.
+EVENT_SCHEMA: dict[str, EventSpec] = {
+    # One complete reading session (emitted by the shared protocol hook).
+    "session": _spec(protocol="str", n_tags="int", n_read="int",
+                     empty_slots="int", singleton_slots="int",
+                     collision_slots="int", resolved_from_collision="int",
+                     frames="int", duration_s="float"),
+    # One FCAT frame: the slot-outcome mix at the advertised probability.
+    "frame": _spec(protocol="str", frame_index="int",
+                   report_probability="float", empty="int", singleton="int",
+                   collision="int"),
+    # The embedded estimator after a frame: belief vs ground truth.
+    "estimator_update": _spec(protocol="str", frame_index="int",
+                              estimate="float", actual_remaining="int",
+                              error="float"),
+    # IDs recovered by resolving ANC collision records in one slot.
+    "anc_resolution": _spec(protocol="str", slot_index="int",
+                            resolved="int"),
+    # The p = 1 probe that decides session termination.
+    "termination_probe": _spec(protocol="str", slot_index="int",
+                               outcome="str"),
+    # One sweep cell finished (computed or served from the result cache).
+    "cell_done": _spec(key="str", protocol="str", n_tags="int", runs="int",
+                       seed="int", elapsed_s="float", cached="bool"),
+    # Result-cache accounting; ``key`` is the cell's content address.
+    "cache_hit": _spec(key="str"),
+    "cache_miss": _spec(key="str"),
+    "cache_invalidated": _spec(path="str", reason="str"),
+    # Executor mechanics: pool spin-up and per-chunk worker accounting.
+    "pool_start": _spec(workers="int", tasks="int", start_method="str"),
+    "chunk_done": _spec(cell_index="int", chunk_index="int", runs="int",
+                        duration_s="float", queue_wait_s="float"),
+    # Final registry snapshot, appended as the last line of a JSONL sink.
+    "metrics_snapshot": _spec(metrics="mapping"),
+}
+
+
+def validate_event(name: str, fields: dict) -> None:
+    """Raise ``ValueError`` unless (name, fields) matches the schema."""
+    spec = EVENT_SCHEMA.get(name)
+    if spec is None:
+        raise ValueError(f"undeclared event {name!r}; add it to EVENT_SCHEMA")
+    declared = spec.field_names
+    if tuple(sorted(fields)) != tuple(sorted(declared)):
+        missing = set(declared) - set(fields)
+        extra = set(fields) - set(declared)
+        raise ValueError(
+            f"event {name!r} fields mismatch: missing {sorted(missing)}, "
+            f"unexpected {sorted(extra)}")
+    for field_name, kind in spec.fields:
+        value = fields[field_name]
+        accepted = _KINDS[kind]
+        if kind in ("int", "float") and isinstance(value, bool):
+            raise ValueError(
+                f"event {name!r} field {field_name!r} must be {kind}, "
+                "got bool")
+        if not isinstance(value, accepted):
+            raise ValueError(
+                f"event {name!r} field {field_name!r} must be {kind}, "
+                f"got {type(value).__name__}")
+
+
+@dataclass(frozen=True)
+class Event:
+    """One emitted event, already validated against its spec."""
+
+    seq: int
+    name: str
+    fields: dict
+
+    def to_json(self) -> dict:
+        return {"seq": self.seq, "event": self.name, **self.fields}
+
+
+class EventStream:
+    """Append-only, schema-validated event log with stable sequencing."""
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+
+    def emit(self, name: str, **fields) -> Event:
+        validate_event(name, fields)
+        event = Event(seq=len(self._events), name=name, fields=fields)
+        self._events.append(event)
+        return event
+
+    def extend(self, events: Iterable[Event]) -> None:
+        """Fold another stream's events in, re-sequencing as they land."""
+        for event in events:
+            validate_event(event.name, event.fields)
+            self._events.append(Event(seq=len(self._events),
+                                      name=event.name, fields=event.fields))
+
+    @property
+    def events(self) -> list[Event]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def counts(self) -> dict[str, int]:
+        """Events seen per name, sorted by name."""
+        tally: dict[str, int] = {}
+        for event in self._events:
+            tally[event.name] = tally.get(event.name, 0) + 1
+        return dict(sorted(tally.items()))
+
+
+def write_jsonl(path: Path | str, stream: EventStream) -> int:
+    """Write the stream to ``path`` as JSONL; returns the line count."""
+    lines = [json.dumps(event.to_json(), sort_keys=True)
+             for event in stream.events]
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""),
+                          encoding="utf-8")
+    return len(lines)
+
+
+def read_jsonl(path: Path | str) -> list[Event]:
+    """Parse and re-validate a JSONL sink written by :func:`write_jsonl`."""
+    events: list[Event] = []
+    for lineno, line in enumerate(
+            Path(path).read_text(encoding="utf-8").splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path}:{lineno}: not JSON: {error}") from None
+        if not isinstance(payload, dict) or "event" not in payload \
+                or "seq" not in payload:
+            raise ValueError(f"{path}:{lineno}: missing seq/event keys")
+        name = payload["event"]
+        fields = {key: value for key, value in payload.items()
+                  if key not in ("seq", "event")}
+        try:
+            validate_event(name, fields)
+        except ValueError as error:
+            raise ValueError(f"{path}:{lineno}: {error}") from None
+        events.append(Event(seq=payload["seq"], name=name, fields=fields))
+    return events

@@ -14,6 +14,7 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro.air.timing import ICODE_TIMING, TimingModel
+from repro.obs import scope
 from repro.sim.channel import PERFECT_CHANNEL, ChannelModel
 from repro.sim.population import TagPopulation
 from repro.sim.result import AggregateResult, ReadingResult, aggregate
@@ -30,6 +31,34 @@ class TagReadingProtocol(ABC):
                  channel: ChannelModel = PERFECT_CHANNEL,
                  timing: TimingModel = ICODE_TIMING) -> ReadingResult:
         """Run one complete reading session and return its accounting."""
+
+    def observe_session(self, result: ReadingResult) -> None:
+        """Shared observability hook: account one finished session.
+
+        The runners (:func:`run_many`,
+        :func:`repro.experiments.runner.run_single`) call this after every
+        ``read_all``, so every protocol -- FCAT, SCAT and all the baselines
+        -- reports the same session-level telemetry without per-protocol
+        instrumentation.  A no-op unless a ``repro.obs`` scope is active.
+        """
+        obs = scope.active()
+        if obs is None:
+            return
+        obs.count("sessions")
+        obs.count("slots.empty", result.empty_slots)
+        obs.count("slots.singleton", result.singleton_slots)
+        obs.count("slots.collision", result.collision_slots)
+        obs.count("tags.read", result.n_read)
+        obs.count("tags.resolved_from_collision",
+                  result.resolved_from_collision)
+        obs.observe_value("session.duration_s", result.duration_s)
+        obs.observe_value("session.slots", result.total_slots)
+        obs.emit("session", protocol=result.protocol, n_tags=result.n_tags,
+                 n_read=result.n_read, empty_slots=result.empty_slots,
+                 singleton_slots=result.singleton_slots,
+                 collision_slots=result.collision_slots,
+                 resolved_from_collision=result.resolved_from_collision,
+                 frames=result.frames, duration_s=result.duration_s)
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name}>"
@@ -56,5 +85,6 @@ def run_many(protocol: TagReadingProtocol, population: TagPopulation,
             raise RuntimeError(
                 f"{protocol.name} failed to read all tags on a perfect "
                 f"channel ({result.n_read}/{result.n_tags})")
+        protocol.observe_session(result)
         results.append(result)
     return aggregate(results)

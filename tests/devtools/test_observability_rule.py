@@ -1,0 +1,88 @@
+"""R9: emit call sites must match the EVENT_SCHEMA registry."""
+
+from __future__ import annotations
+
+SCHEMA = '''
+    EVENT_SCHEMA = {
+        "session": _spec(protocol="str", n_read="int"),
+        "cache_hit": _spec(key="str"),
+    }
+'''
+
+
+def _write_schema(tree, body: str = SCHEMA) -> None:
+    tree.write("repro/obs/events.py", '''
+    def _spec(**fields):
+        return tuple(fields.items())
+
+''' + body)
+
+
+def test_declared_event_with_matching_fields_passes(tree):
+    _write_schema(tree)
+    tree.write("repro/core/proto.py", '''
+    def run(obs):
+        obs.emit("session", protocol="FCAT-2", n_read=3)
+        obs.emit("cache_hit", key="abc")
+''')
+    assert tree.rule_findings("event-schema") == []
+
+
+def test_undeclared_event_name_is_flagged(tree):
+    _write_schema(tree)
+    tree.write("repro/core/proto.py", '''
+    def run(obs):
+        obs.emit("sesion", protocol="FCAT-2", n_read=3)
+''')
+    findings = tree.rule_findings("event-schema")
+    assert findings == ["repro/core/proto.py:3 event-schema"]
+
+
+def test_field_drift_is_flagged_both_directions(tree):
+    _write_schema(tree)
+    tree.write("repro/core/proto.py", '''
+    def run(obs):
+        obs.emit("session", protocol="FCAT-2", reads=3)
+''')
+    report = tree.lint("event-schema")
+    (finding,) = report.unsuppressed
+    assert "missing ['n_read']" in finding.message
+    assert "undeclared ['reads']" in finding.message
+
+
+def test_non_constant_names_and_kwargs_splat_are_skipped(tree):
+    _write_schema(tree)
+    tree.write("repro/obs/scope.py", '''
+    def emit(stream, name, **fields):
+        stream.emit(name, **fields)
+''')
+    tree.write("repro/core/proto.py", '''
+    def run(obs, fields):
+        obs.emit("session", **fields)
+''')
+    assert tree.rule_findings("event-schema") == []
+
+
+def test_schema_module_itself_is_exempt(tree):
+    _write_schema(tree, SCHEMA + '''
+    def selftest(stream):
+        stream.emit("cache_hit", key="k")
+        stream.emit("not-declared-anywhere")
+''')
+    assert tree.rule_findings("event-schema") == []
+
+
+def test_unreadable_schema_is_one_finding_at_the_registry(tree):
+    tree.write("repro/obs/events.py", '''
+    EVENT_SCHEMA = build_schema()
+''')
+    findings = tree.rule_findings("event-schema")
+    assert findings == ["repro/obs/events.py:1 event-schema"]
+
+
+def test_without_schema_module_the_rule_stays_silent(tree):
+    tree.write("repro/core/proto.py", '''
+    def run(obs):
+        obs.emit("anything-at-all")
+''')
+    assert tree.rule_findings("event-schema") == []

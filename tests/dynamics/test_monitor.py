@@ -1,0 +1,97 @@
+"""FcatMonitor: continuous FCAT over a churning population."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dynamics.churn import ChurnModel
+from repro.dynamics.monitor import (
+    FcatMonitor,
+    MonitoringConfig,
+    MonitoringResult,
+)
+from repro.sim.population import TagPopulation
+
+
+def _run(config=None, churn=None, n_tags=40, seed=11) -> MonitoringResult:
+    rng = np.random.default_rng(seed)
+    population = TagPopulation.random(n_tags, np.random.default_rng(seed + 1))
+    return FcatMonitor(config or MonitoringConfig(duration_s=8.0)).run(
+        population, churn or ChurnModel(), rng)
+
+
+class TestMonitoringConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="duration_s"):
+            MonitoringConfig(duration_s=0.0)
+        with pytest.raises(ValueError, match="lam"):
+            MonitoringConfig(lam=1)
+        with pytest.raises(ValueError, match="frame_size"):
+            MonitoringConfig(frame_size=0)
+
+    def test_effective_omega_defaults_to_optimal(self):
+        from repro.core.optimal import optimal_omega
+        assert MonitoringConfig().effective_omega == optimal_omega(2)
+        assert MonitoringConfig(omega=1.5).effective_omega == 1.5
+
+
+class TestStaticPopulation:
+    def test_reads_everything_with_no_churn(self):
+        result = _run()
+        assert result.tags_appeared == 40
+        assert result.tags_read == 40
+        assert result.missed_departures == 0
+        assert result.stale_reads == 0
+        assert result.detection_fraction == 1.0
+
+    def test_slot_accounting_partitions(self):
+        result = _run()
+        assert result.total_slots == result.empty_slots \
+            + result.singleton_slots + result.collision_slots
+        assert result.frames == len(result.tracking_trace)
+        assert result.total_slots == result.frames \
+            * result.config.frame_size
+
+    def test_estimator_tracks_down_to_zero(self):
+        result = _run()
+        estimates = [estimate for estimate, _ in result.tracking_trace]
+        truths = [truth for _, truth in result.tracking_trace]
+        assert truths[-1] == 0
+        assert estimates[-1] < estimates[0]
+
+    def test_deterministic_given_seed(self):
+        a, b = _run(seed=21), _run(seed=21)
+        assert a.tracking_trace == b.tracking_trace
+        assert a.lifetimes.read_at == b.lifetimes.read_at
+
+
+class TestChurn:
+    CHURN = ChurnModel(arrival_rate=2.0, mean_dwell_s=5.0)
+
+    def test_arrivals_grow_the_population(self):
+        result = _run(config=MonitoringConfig(duration_s=10.0),
+                      churn=self.CHURN)
+        assert result.tags_appeared > 40
+        assert result.lifetimes.departed_at  # some tags left
+
+    def test_fast_churn_costs_detections(self):
+        slow = _run(config=MonitoringConfig(duration_s=10.0),
+                    churn=ChurnModel(arrival_rate=2.0, mean_dwell_s=20.0))
+        fast = _run(config=MonitoringConfig(duration_s=10.0),
+                    churn=ChurnModel(arrival_rate=2.0, mean_dwell_s=0.5))
+        assert fast.detection_fraction < slow.detection_fraction
+
+    def test_latency_stats_and_summary(self):
+        result = _run(config=MonitoringConfig(duration_s=10.0),
+                      churn=self.CHURN)
+        mean_latency, p95 = result.latency_stats()
+        assert 0.0 <= mean_latency <= p95
+        summary = result.summary()
+        assert "tags read" in summary and "missed departures" in summary
+
+    def test_empty_session_latency_is_nan(self):
+        result = _run(n_tags=0,
+                      config=MonitoringConfig(duration_s=0.05))
+        mean_latency, p95 = result.latency_stats()
+        assert np.isnan(mean_latency) and np.isnan(p95)

@@ -1,0 +1,66 @@
+"""Probe frames: slot-statistics-only ALOHA rounds for estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.estimate.probe import ProbeFrame, run_probe_frame
+
+
+class TestProbeFrame:
+    def test_counts_must_partition_the_frame(self):
+        with pytest.raises(ValueError, match="partition"):
+            ProbeFrame(frame_size=4, persistence=0.5,
+                       empty=1, singleton=1, collision=1)
+
+    def test_occupied(self):
+        frame = ProbeFrame(frame_size=4, persistence=0.5,
+                           empty=1, singleton=2, collision=1)
+        assert frame.occupied == 3
+
+
+class TestRunProbeFrame:
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="n_tags"):
+            run_probe_frame(-1, 8, 0.5, rng)
+        with pytest.raises(ValueError, match="frame_size"):
+            run_probe_frame(10, 0, 0.5, rng)
+        with pytest.raises(ValueError, match="persistence"):
+            run_probe_frame(10, 8, 0.0, rng)
+        with pytest.raises(ValueError, match="persistence"):
+            run_probe_frame(10, 8, 1.5, rng)
+
+    def test_counts_partition_and_echo_parameters(self):
+        frame = run_probe_frame(50, 16, 0.5, np.random.default_rng(1))
+        assert frame.frame_size == 16 and frame.persistence == 0.5
+        assert frame.empty + frame.singleton + frame.collision == 16
+
+    def test_zero_tags_means_all_empty(self):
+        frame = run_probe_frame(0, 8, 1.0, np.random.default_rng(2))
+        assert frame.empty == 8
+        assert frame.singleton == frame.collision == 0
+
+    def test_full_persistence_conserves_responders(self):
+        """At p = 1 every tag responds: singletons + collider counts can't
+        exceed the population, and at most n slots are occupied."""
+        frame = run_probe_frame(5, 64, 1.0, np.random.default_rng(3))
+        assert frame.occupied <= 5
+        assert frame.singleton + 2 * frame.collision <= 5
+
+    def test_deterministic_given_generator_state(self):
+        a = run_probe_frame(100, 32, 0.4, np.random.default_rng(7))
+        b = run_probe_frame(100, 32, 0.4, np.random.default_rng(7))
+        assert a == b
+
+    def test_empty_fraction_matches_binomial_thinning(self):
+        """E[empty/L] = (1 - p/L)^n -- the identity the estimators invert.
+        Average over many frames and check against the closed form."""
+        n_tags, frame_size, persistence = 200, 64, 0.5
+        rng = np.random.default_rng(11)
+        frames = [run_probe_frame(n_tags, frame_size, persistence, rng)
+                  for _ in range(300)]
+        mean_empty = np.mean([frame.empty for frame in frames]) / frame_size
+        expected = (1.0 - persistence / frame_size) ** n_tags
+        assert mean_empty == pytest.approx(expected, rel=0.02)

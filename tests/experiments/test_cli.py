@@ -5,6 +5,9 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments.cli import EXPERIMENTS, build_parser, main
+from repro.obs import report
+from repro.obs.events import read_jsonl
+from repro.obs.manifest import read_manifest
 
 
 class TestParser:
@@ -40,3 +43,60 @@ class TestMain:
         assert main(["fig3", "fig3"]) == 0
         out = capsys.readouterr().out
         assert out.count("Fig. 3 --") == 1
+
+
+class TestObservabilityFlags:
+    def _smoke(self, tmp_path, *extra):
+        metrics = tmp_path / "metrics.jsonl"
+        manifest = tmp_path / "manifest.json"
+        argv = ["table1", "--smoke", "--no-result-cache",
+                "--metrics-out", str(metrics),
+                "--manifest-out", str(manifest), *extra]
+        assert main(argv) == 0
+        return argv, metrics, manifest
+
+    def test_smoke_caps_runs_and_shrinks_the_grid(self, capsys, tmp_path):
+        self._smoke(tmp_path)
+        out = capsys.readouterr().out
+        assert "500" in out and "1000" in out
+        assert "20000" not in out  # full grid not run
+
+    def test_metrics_jsonl_validates_and_ends_in_a_snapshot(self, capsys,
+                                                           tmp_path):
+        _, metrics, _ = self._smoke(tmp_path)
+        events = read_jsonl(metrics)  # re-validates every line
+        assert events
+        assert events[-1].name == "metrics_snapshot"
+        assert {event.name for event in events} >= {"session", "cell_done",
+                                                    "frame"}
+
+    def test_manifest_cross_checks_against_the_stream(self, capsys,
+                                                      tmp_path):
+        argv, metrics, manifest_path = self._smoke(tmp_path)
+        manifest = read_manifest(manifest_path)
+        assert manifest.command == ["repro-experiments", *argv]
+        assert manifest.jobs == 1
+        events = read_jsonl(metrics)
+        assert report.cross_check_manifest(events, manifest) == []
+
+    def test_report_cli_accepts_the_artefacts(self, capsys, tmp_path):
+        _, metrics, manifest_path = self._smoke(tmp_path)
+        capsys.readouterr()
+        assert report.main([str(metrics),
+                            "--manifest", str(manifest_path)]) == 0
+        assert "observability report" in capsys.readouterr().out
+
+    def test_summary_goes_to_stderr_not_the_artefact(self, capsys,
+                                                     tmp_path):
+        """The .md artefact on stdout must stay byte-identical whether
+        observability is on or off; the summary lands on stderr."""
+        out_dir = tmp_path / "observed"
+        self._smoke(tmp_path, "--out", str(out_dir))
+        captured = capsys.readouterr()
+        assert "observability report" in captured.err
+        assert "observability report" not in captured.out
+        plain_dir = tmp_path / "plain"
+        assert main(["table1", "--smoke", "--no-result-cache",
+                     "--out", str(plain_dir)]) == 0
+        assert (out_dir / "table1.md").read_bytes() == \
+            (plain_dir / "table1.md").read_bytes()

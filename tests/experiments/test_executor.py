@@ -128,3 +128,54 @@ class TestExecutorCacheInterplay:
         plain = sweep(protocols, [50, 100], runs=3, seed=2)
         for key in plain:
             assert_cells_identical(plain[key], cached[key])
+
+
+class TestExecutorObservability:
+    """Telemetry collection must never disturb the bit-exact contract."""
+
+    SPECS = [CellSpec(protocol=Fcat(lam=2), n_tags=80, runs=4, seed=31),
+             CellSpec(protocol=Dfsa(), n_tags=60, runs=4, seed=32)]
+
+    def test_observed_parallel_matches_unobserved_serial(self):
+        from repro.obs.scope import observe
+        plain = execute_cells(self.SPECS, jobs=1)
+        with observe():
+            observed = execute_cells(self.SPECS, jobs=4)
+        for a, b in zip(plain, observed):
+            assert_cells_identical(a, b)
+
+    def test_chunk_accounting_covers_every_run(self):
+        from repro.obs.scope import observe
+        with observe() as observation:
+            execute_cells(self.SPECS, jobs=4)
+        chunk_events = [event for event in observation.events.events
+                        if event.name == "chunk_done"]
+        assert sum(event.fields["runs"] for event in chunk_events) == \
+            sum(spec.runs for spec in self.SPECS)
+        per_cell = {}
+        for event in chunk_events:
+            per_cell.setdefault(event.fields["cell_index"], []).append(
+                event.fields["chunk_index"])
+        # Chunks of each cell land in deterministic reassembly order.
+        for indices in per_cell.values():
+            assert indices == sorted(indices)
+
+    def test_pool_start_reports_worker_accounting(self):
+        from repro.obs.scope import observe
+        with observe() as observation:
+            execute_cells(self.SPECS, jobs=4)
+        (pool,) = [event for event in observation.events.events
+                   if event.name == "pool_start"]
+        assert 1 <= pool.fields["workers"] <= 4
+        assert pool.fields["tasks"] >= len(self.SPECS)
+        assert observation.metrics.snapshot()["gauges"][
+            "executor.workers"] == pool.fields["workers"]
+
+    def test_serial_path_reports_one_worker(self):
+        from repro.obs.scope import observe
+        with observe() as observation:
+            execute_cells(self.SPECS, jobs=1)
+        snapshot = observation.metrics.snapshot()
+        assert snapshot["gauges"]["executor.workers"] == 1
+        assert not [event for event in observation.events.events
+                    if event.name == "pool_start"]

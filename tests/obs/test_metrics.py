@@ -1,0 +1,149 @@
+"""MetricsRegistry: instrument semantics and the order-independent fold."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter("slots")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="forward"):
+            Counter("slots").inc(-1)
+
+    def test_merge_adds(self):
+        a, b = Counter("x", 3), Counter("x", 4)
+        a.merge(b)
+        assert a.value == 7
+
+
+class TestGauge:
+    def test_merge_keeps_maximum(self):
+        a, b = Gauge("workers"), Gauge("workers")
+        a.set(4)
+        b.set(2)
+        a.merge(b)
+        assert a.value == 4
+        b.merge(a)
+        assert b.value == 4  # same result under either merge order
+
+    def test_untouched_gauge_merges_as_identity(self):
+        a, b = Gauge("workers"), Gauge("workers")
+        b.set(0)  # an explicit zero must survive the merge
+        a.merge(b)
+        assert a.touched and a.value == 0
+
+
+class TestHistogram:
+    def test_quantiles_interpolate_within_buckets(self):
+        histogram = Histogram("v", bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.5, 3.0):
+            histogram.observe(value)
+        assert histogram.n == 4
+        assert histogram.mean == pytest.approx(1.625)
+        assert 0.0 < histogram.quantile(0.25) <= 1.0
+        assert 1.0 < histogram.quantile(0.75) <= 2.0
+
+    def test_overflow_reports_true_maximum(self):
+        histogram = Histogram("v", bounds=(1.0,))
+        histogram.observe(123.0)
+        assert histogram.overflow == 1
+        assert histogram.quantile(0.99) == 123.0
+
+    def test_merge_requires_matching_bounds(self):
+        with pytest.raises(ValueError, match="bounds differ"):
+            Histogram("v", bounds=(1.0,)).merge(Histogram("v", bounds=(2.0,)))
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram("v", bounds=(2.0, 1.0))
+
+    def test_summary_fields(self):
+        histogram = Histogram("v")
+        histogram.observe(1.0)
+        summary = histogram.summary()
+        assert set(summary) == {"count", "mean", "p50", "p90", "p99",
+                                "min", "max"}
+        assert summary["count"] == 1 and summary["min"] == 1.0
+
+
+def _worker_registry(spec: dict) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    for name, amount in spec.get("counters", {}).items():
+        registry.counter(name).inc(amount)
+    for name, value in spec.get("gauges", {}).items():
+        registry.gauge(name).set(value)
+    for name, values in spec.get("histograms", {}).items():
+        for value in values:
+            registry.histogram(name).observe(value)
+    return registry
+
+
+class TestRegistryMerge:
+    # Three unequal worker registries with overlapping and disjoint names:
+    # the shape the executor folds after a parallel sweep.
+    WORKERS = [
+        {"counters": {"slots": 10, "reads": 3},
+         "gauges": {"workers": 2},
+         "histograms": {"chunk_s": [0.1, 0.4]}},
+        {"counters": {"slots": 7},
+         "gauges": {"workers": 4, "depth": 1},
+         "histograms": {"chunk_s": [0.2], "wait_s": [0.05]}},
+        {"counters": {"reads": 5, "hits": 1},
+         "histograms": {"wait_s": [120.0]}},
+    ]
+
+    def test_fold_is_order_independent(self):
+        """Every permutation of the worker fold yields one snapshot --
+        the property that keeps parallel telemetry deterministic."""
+        snapshots = []
+        for order in itertools.permutations(range(len(self.WORKERS))):
+            parent = MetricsRegistry()
+            for index in order:
+                parent.merge(_worker_registry(self.WORKERS[index]))
+            snapshots.append(parent.snapshot())
+        assert all(snapshot == snapshots[0] for snapshot in snapshots[1:])
+        assert snapshots[0]["counters"] == {"hits": 1, "reads": 8,
+                                            "slots": 17}
+        assert snapshots[0]["gauges"] == {"depth": 1, "workers": 4}
+        assert snapshots[0]["histograms"]["chunk_s"]["count"] == 3
+
+    def test_fold_is_associative(self):
+        """(a+b)+c == a+(b+c): chunk outcomes can be pre-folded anywhere."""
+        a, b, c = (_worker_registry(spec) for spec in self.WORKERS)
+        left = MetricsRegistry()
+        left.merge(a)
+        left.merge(b)
+        left.merge(c)
+        bc = _worker_registry(self.WORKERS[1])
+        bc.merge(_worker_registry(self.WORKERS[2]))
+        right = _worker_registry(self.WORKERS[0])
+        right.merge(bc)
+        assert left.snapshot() == right.snapshot()
+
+    def test_snapshot_is_sorted_and_json_shaped(self):
+        registry = _worker_registry(self.WORKERS[0])
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["counters", "gauges", "histograms"]
+        assert list(snapshot["counters"]) == sorted(snapshot["counters"])
+
+    def test_histogram_bounds_conflict_is_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("v", bounds=(1.0,))
+        with pytest.raises(ValueError, match="other bounds"):
+            registry.histogram("v", bounds=DEFAULT_BUCKETS)

@@ -1,0 +1,90 @@
+"""repro.obs.report: summaries, cross-checks, and the validator CLI."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.fcat import Fcat
+from repro.experiments.executor import CellSpec, execute_cells
+from repro.obs.events import write_jsonl
+from repro.obs.manifest import build_manifest, write_manifest
+from repro.obs.report import (
+    cross_check_manifest,
+    main,
+    render_report,
+    summarize,
+)
+from repro.obs.scope import observe
+
+
+@pytest.fixture(scope="module")
+def artefacts(tmp_path_factory):
+    """One small observed run, written out as metrics.jsonl + manifest."""
+    root = tmp_path_factory.mktemp("artefacts")
+    spec = CellSpec(protocol=Fcat(lam=2), n_tags=60, runs=2, seed=13)
+    with observe() as observation:
+        execute_cells([spec])
+    observation.emit("metrics_snapshot",
+                     metrics=observation.metrics.snapshot())
+    manifest = build_manifest(observation, command=["repro-experiments", "x"],
+                              started_unix=0.0, jobs=1, wall_time_s=1.0)
+    jsonl = root / "metrics.jsonl"
+    manifest_path = root / "manifest.json"
+    write_jsonl(jsonl, observation.events)
+    write_manifest(manifest_path, manifest)
+    return observation, manifest, jsonl, manifest_path
+
+
+def test_summarize_covers_events_cells_and_metrics(artefacts):
+    observation, manifest, _, _ = artefacts
+    text = summarize(observation.events.events, manifest)
+    assert f"observability report: {len(observation.events)} events" in text
+    assert "session" in text and "cell_done" in text
+    assert "cells: 1 total, 0 cache-served" in text
+    assert "counters:" in text and "sessions" in text
+    assert "manifest: 'repro-experiments x'" in text
+
+
+def test_cross_check_accepts_the_matching_pair(artefacts):
+    observation, manifest, _, _ = artefacts
+    assert cross_check_manifest(observation.events.events, manifest) == []
+
+
+def test_cross_check_flags_drift(artefacts):
+    observation, manifest, _, _ = artefacts
+    missing_cell = dataclasses.replace(manifest, cells=[])
+    problems = cross_check_manifest(observation.events.events, missing_cell)
+    assert any("missing from the manifest" in p for p in problems)
+    wrong_count = dataclasses.replace(manifest, event_count=999)
+    problems = cross_check_manifest(observation.events.events, wrong_count)
+    assert any("999" in p for p in problems)
+
+
+def test_render_report_round_trips_from_disk(artefacts):
+    observation, manifest, jsonl, manifest_path = artefacts
+    assert render_report(jsonl, manifest_path) == \
+        summarize(observation.events.events, manifest)
+
+
+def test_cli_validates_and_exits_zero(artefacts, capsys):
+    _, _, jsonl, manifest_path = artefacts
+    assert main([str(jsonl), "--manifest", str(manifest_path)]) == 0
+    assert "observability report" in capsys.readouterr().out
+
+
+def test_cli_rejects_corrupt_stream(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"seq": 0, "event": "no-such-event"}\n')
+    assert main([str(bad)]) == 1
+    assert "invalid event stream" in capsys.readouterr().err
+
+
+def test_cli_rejects_mismatched_manifest(artefacts, tmp_path, capsys):
+    observation, manifest, jsonl, _ = artefacts
+    drifted = dataclasses.replace(manifest, cells=[])
+    path = tmp_path / "drifted.json"
+    write_manifest(path, drifted)
+    assert main([str(jsonl), "--manifest", str(path)]) == 1
+    assert "mismatch" in capsys.readouterr().err

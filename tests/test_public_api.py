@@ -18,9 +18,15 @@ PACKAGES = [
     "repro.inventory",
     "repro.dynamics",
     "repro.experiments",
-    # A standalone module registered as a public API surface (lint rule
+    # Standalone modules registered as public API surfaces (lint rule
     # public-api, LintConfig.api_export_modules).
     "repro.experiments.executor",
+    "repro.obs",
+    "repro.obs.events",
+    "repro.obs.manifest",
+    "repro.obs.metrics",
+    "repro.obs.report",
+    "repro.obs.scope",
     "repro.report",
     "repro.devtools",
 ]

@@ -4,8 +4,9 @@ This is the machine-checked version of the review-time invariants the
 reproduction's numbers rest on: seeded determinism (R1), a shared protocol
 contract across every baseline (R2), numeric hygiene (R3), a public API
 that matches its documentation and tests (R4), units/dimension consistency
-(R5), probability-domain safety (R6), whole-program RNG reachability (R7)
-and experiment-registry completeness (R8).  Any new violation must either
+(R5), probability-domain safety (R6), whole-program RNG reachability (R7),
+experiment-registry completeness (R8) and observability event-schema
+conformance (R9).  Any new violation must either
 be fixed or carry an explicit `# repro: allow-<rule>` suppression with a
 rationale -- the gate runs strict, without the grandfather baseline.
 """
@@ -46,6 +47,7 @@ def test_every_rule_ran():
         "probability-call",
         "rng-reachability",
         "experiment-registry",
+        "event-schema",
     }
 
 
