@@ -5,6 +5,9 @@
 #   scripts/check.sh --lint     # lint stages only
 #   scripts/check.sh --changed  # lint only files changed vs HEAD, no pytest
 #
+# --changed diffs against HEAD by default; set CHANGED_BASE to diff against
+# another ref (CI's PR quick gate uses CHANGED_BASE=origin/<base branch>).
+#
 # src/ findings block; tests/ and scripts/ run a reduced hygiene rule set
 # in warn-only mode (test code may poke at internals, but stray
 # `import random` or mutable defaults are still worth seeing).
@@ -20,16 +23,17 @@ ADVISORY_RULES="no-import-random,no-global-np-random,mutable-default,float-equal
 # Per-file rule families for --changed: the whole-program rules
 # (rng-reachability, units-call, ...) need the full tree and would
 # false-positive on a file subset.
-CHANGED_RULES="no-import-random,no-global-np-random,rng-construction,rng-annotation,float-equality,mutable-default,units-arithmetic,probability-domain"
+CHANGED_RULES="no-import-random,no-global-np-random,rng-construction,rng-annotation,float-equality,mutable-default,units-arithmetic,probability-domain,rng-order"
 
 if [[ "${1:-}" == "--changed" ]]; then
-    mapfile -t changed < <(git diff --name-only HEAD -- '*.py' \
+    base="${CHANGED_BASE:-HEAD}"
+    mapfile -t changed < <(git diff --name-only "$base" -- '*.py' \
         | while read -r f; do [[ -f "$f" ]] && echo "$f"; done)
     if [[ ${#changed[@]} -eq 0 ]]; then
-        echo "== repro-lint --changed: no modified Python files =="
+        echo "== repro-lint --changed: no Python files changed vs $base =="
         exit 0
     fi
-    echo "== repro-lint --changed (${#changed[@]} files) =="
+    echo "== repro-lint --changed (${#changed[@]} files vs $base) =="
     src_files=() other_files=()
     for f in "${changed[@]}"; do
         if [[ "$f" == src/* ]]; then src_files+=("$f");

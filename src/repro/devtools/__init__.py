@@ -20,6 +20,13 @@ and the suppression syntax.
 from repro.devtools.baseline import Baseline
 from repro.devtools.cache import CacheEntry, LintCache
 from repro.devtools.config import DEFAULT_CONFIG, LintConfig
+from repro.devtools.dataflow import (
+    DefUse,
+    TagFlow,
+    build_cfg,
+    def_use_records,
+    global_access,
+)
 from repro.devtools.engine import LintEngine, parse_suppressions
 from repro.devtools.findings import Finding, LintReport
 from repro.devtools.index import (
@@ -30,6 +37,7 @@ from repro.devtools.index import (
 )
 from repro.devtools.intervals import interval_of_expr, provably_outside_unit
 from repro.devtools.reporters import render_json, render_text
+from repro.devtools.shapes import ShapeInfo, infer_expr, parse_shape_contracts
 from repro.devtools.rules import (
     ModuleContext,
     ProjectContext,
@@ -47,8 +55,16 @@ __all__ = [
     "LintCache",
     "DEFAULT_CONFIG",
     "LintConfig",
+    "DefUse",
+    "TagFlow",
+    "build_cfg",
+    "def_use_records",
+    "global_access",
     "LintEngine",
     "parse_suppressions",
+    "ShapeInfo",
+    "infer_expr",
+    "parse_shape_contracts",
     "Finding",
     "LintReport",
     "FunctionInfo",

@@ -19,14 +19,18 @@ from __future__ import annotations
 
 import hashlib
 import json
+import sys
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Iterable
 
 from repro.devtools.findings import Finding
 from repro.devtools.index import ModuleIndex
 
 #: Bump when the entry layout (or anything it captures) changes shape.
-CACHE_SCHEMA = 2
+#: 3: def-use records, global access summaries and shape contracts joined
+#: the per-module index.
+CACHE_SCHEMA = 3
 
 DEFAULT_CACHE_NAME = ".repro-lint-cache.json"
 
@@ -35,8 +39,34 @@ def content_digest(source: str) -> str:
     return hashlib.sha256(source.encode("utf-8")).hexdigest()
 
 
-def cache_signature(config_repr: str, rule_names: tuple[str, ...]) -> str:
-    payload = f"{CACHE_SCHEMA}|{config_repr}|{','.join(rule_names)}"
+def rule_sources_digest(rules: Iterable[object]) -> str:
+    """Digest of the source files defining the active rules.
+
+    Cached findings were produced *by* rule code, so the whole-file cache
+    signature must capture that code: editing a rule module alone (same
+    rule names, same config) invalidates the cache.  Unlocatable sources
+    (frozen interpreters) hash as their module name, which degrades to the
+    old name-only behaviour instead of failing.
+    """
+    files: set[str] = set()
+    for rule in rules:
+        module = sys.modules.get(type(rule).__module__)
+        path = getattr(module, "__file__", None)
+        files.add(path or type(rule).__module__)
+    digest = hashlib.sha256()
+    for path in sorted(files):
+        digest.update(path.encode("utf-8"))
+        try:
+            digest.update(Path(path).read_bytes())
+        except OSError:
+            pass
+    return digest.hexdigest()
+
+
+def cache_signature(config_repr: str, rule_names: tuple[str, ...],
+                    rules_digest: str = "") -> str:
+    payload = (f"{CACHE_SCHEMA}|{config_repr}|{','.join(rule_names)}"
+               f"|{rules_digest}")
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 

@@ -48,6 +48,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--show-suppressed", action="store_true",
                         help="also print findings silenced by "
                              "`# repro: allow-<rule>` comments")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="parallelize pass-1 indexing over N worker "
+                             "processes (results merge deterministically; "
+                             "default: 1, serial)")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore and do not write the incremental cache")
     parser.add_argument("--no-baseline", action="store_true",
@@ -107,7 +111,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     except KeyError as error:
         print(f"repro-lint: {error.args[0]}", file=sys.stderr)
         return 2
-    report = engine.lint_paths(options.paths)
+    if options.jobs < 1:
+        print("repro-lint: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    report = engine.lint_paths(options.paths, jobs=options.jobs)
     if options.write_baseline:
         if baseline_path is None:
             print("repro-lint: cannot locate a baseline path (no "

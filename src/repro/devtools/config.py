@@ -144,5 +144,29 @@ class LintConfig:
     #: Name of the schema dict (event name -> spec) in that module.
     event_schema_registry: str = "EVENT_SCHEMA"
 
+    # --- R10: rng order-sensitivity ---------------------------------------
+    #: Call tails (beyond ``rng_factories``/``rng_mint_helpers``) whose
+    #: result carries draw-order state.
+    rng_value_sources: tuple[str, ...] = ("spawn_run_seeds", "spawn")
+
+    # --- R11: fork-safety -------------------------------------------------
+    #: Functions (``module.dotted:qualname``) that run inside pool workers;
+    #: everything reachable from them crosses the fork boundary.
+    worker_roots: tuple[str, ...] = (
+        "repro.experiments.executor:run_chunk",
+    )
+    #: Module globals (``module.dotted:name``) audited as fork-safe: either
+    #: re-initialized per worker or merged back through ChunkOutcome.
+    fork_safe_globals: tuple[str, ...] = (
+        # The ambient Observation slot: every worker enters observe()
+        # fresh, and the captured counters return via
+        # ChunkOutcome.observation for a deterministic parent-side merge.
+        "repro.obs.scope:_current",
+    )
+
+    # --- R12: shape/dtype contracts ---------------------------------------
+    #: Directories whose array code is shape/dtype checked.
+    shape_dirs: tuple[str, ...] = ("phy", "core", "sim")
+
 
 DEFAULT_CONFIG = LintConfig()

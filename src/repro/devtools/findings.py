@@ -76,6 +76,8 @@ class LintReport:
     #: Incremental-cache accounting for this run (both zero without a cache).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Wall-clock seconds pass 1 (discovery + parse + index) took.
+    index_seconds: float = 0.0
 
     @property
     def unsuppressed(self) -> list[Finding]:

@@ -24,7 +24,9 @@ import ast
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
+from repro.devtools.dataflow import DefUse, def_use_records, global_access
 from repro.devtools.intervals import Interval, interval_of_expr
+from repro.devtools.shapes import ShapeInfo, infer_expr
 from repro.devtools.units import (
     HARD_KINDS,
     KIND_DIMENSIONLESS,
@@ -141,16 +143,21 @@ class ArgInfo:
 
     kind: str | None = None
     interval: Interval | None = None
+    #: Shape/dtype when the argument is a provably-typed array expression.
+    shape: ShapeInfo | None = None
 
     def to_dict(self) -> dict:
         return {"kind": self.kind,
-                "interval": list(self.interval) if self.interval else None}
+                "interval": list(self.interval) if self.interval else None,
+                "shape": self.shape.to_dict() if self.shape else None}
 
     @classmethod
     def from_dict(cls, data: dict) -> "ArgInfo":
         interval = data.get("interval")
+        shape = data.get("shape")
         return cls(kind=data.get("kind"),
-                   interval=tuple(interval) if interval else None)
+                   interval=tuple(interval) if interval else None,
+                   shape=ShapeInfo.from_dict(shape) if shape else None)
 
 
 @dataclass
@@ -190,6 +197,8 @@ class ParamInfo:
     annotation: str | None = None
     has_default: bool = False
     default_interval: Interval | None = None
+    #: ``# repro: shape(...)`` contract on the parameter's own line.
+    shape_contract: ShapeInfo | None = None
 
     def to_dict(self) -> dict:
         return {"name": self.name, "kind": self.kind,
@@ -197,16 +206,21 @@ class ParamInfo:
                 "annotation": self.annotation,
                 "has_default": self.has_default,
                 "default_interval": (list(self.default_interval)
-                                     if self.default_interval else None)}
+                                     if self.default_interval else None),
+                "shape_contract": (self.shape_contract.to_dict()
+                                   if self.shape_contract else None)}
 
     @classmethod
     def from_dict(cls, data: dict) -> "ParamInfo":
         interval = data.get("default_interval")
+        contract = data.get("shape_contract")
         return cls(name=data["name"], kind=data["kind"],
                    probability=data["probability"], kwonly=data["kwonly"],
                    annotation=data.get("annotation"),
                    has_default=data["has_default"],
-                   default_interval=tuple(interval) if interval else None)
+                   default_interval=tuple(interval) if interval else None,
+                   shape_contract=(ShapeInfo.from_dict(contract)
+                                   if contract else None))
 
 
 @dataclass
@@ -222,6 +236,15 @@ class FunctionInfo:
     has_varargs: bool = False
     has_kwargs: bool = False
     return_kind: str | None = None
+    #: Reaching-definitions def-use chains (cached with the index).
+    def_uses: list[DefUse] = field(default_factory=list)
+    #: Module-global reads ``(name, line)`` inside this function.
+    global_reads: list[tuple[str, int]] = field(default_factory=list)
+    #: Module-global writes ``(name, line, how)``; ``how`` is one of
+    #: ``rebind``/``mutate``/``store`` (see dataflow.global_access).
+    global_writes: list[tuple[str, int, str]] = field(default_factory=list)
+    #: ``# repro: shape(...)`` contract on the ``def`` line = return value.
+    return_contract: ShapeInfo | None = None
 
     @property
     def name(self) -> str:
@@ -247,10 +270,17 @@ class FunctionInfo:
                 "has_rng_param": self.has_rng_param,
                 "has_varargs": self.has_varargs,
                 "has_kwargs": self.has_kwargs,
-                "return_kind": self.return_kind}
+                "return_kind": self.return_kind,
+                "def_uses": [record.to_list() for record in self.def_uses],
+                "global_reads": [list(read) for read in self.global_reads],
+                "global_writes": [list(write)
+                                  for write in self.global_writes],
+                "return_contract": (self.return_contract.to_dict()
+                                    if self.return_contract else None)}
 
     @classmethod
     def from_dict(cls, data: dict) -> "FunctionInfo":
+        contract = data.get("return_contract")
         return cls(qualname=data["qualname"], lineno=data["lineno"],
                    params=[ParamInfo.from_dict(p) for p in data["params"]],
                    calls=[CallInfo.from_dict(c) for c in data["calls"]],
@@ -258,7 +288,15 @@ class FunctionInfo:
                    has_rng_param=data["has_rng_param"],
                    has_varargs=data["has_varargs"],
                    has_kwargs=data["has_kwargs"],
-                   return_kind=data["return_kind"])
+                   return_kind=data["return_kind"],
+                   def_uses=[DefUse.from_list(record)
+                             for record in data.get("def_uses", [])],
+                   global_reads=[(read[0], read[1])
+                                 for read in data.get("global_reads", [])],
+                   global_writes=[(w[0], w[1], w[2])
+                                  for w in data.get("global_writes", [])],
+                   return_contract=(ShapeInfo.from_dict(contract)
+                                    if contract else None))
 
 
 @dataclass
@@ -275,13 +313,19 @@ class ModuleIndex:
     functions: dict[str, FunctionInfo] = field(default_factory=dict)
     #: names of classes defined in this module.
     classes: tuple[str, ...] = ()
+    #: names assigned at module scope (the fork-safety global universe).
+    global_names: tuple[str, ...] = ()
+    #: module globals bound to OS handles (open files, locks, queues).
+    handle_globals: tuple[str, ...] = ()
 
     def to_dict(self) -> dict:
         return {"dotted": self.dotted, "relpath": self.relpath,
                 "aliases": dict(self.aliases),
                 "functions": {name: info.to_dict()
                               for name, info in self.functions.items()},
-                "classes": list(self.classes)}
+                "classes": list(self.classes),
+                "global_names": list(self.global_names),
+                "handle_globals": list(self.handle_globals)}
 
     @classmethod
     def from_dict(cls, data: dict) -> "ModuleIndex":
@@ -289,7 +333,9 @@ class ModuleIndex:
                    aliases=dict(data["aliases"]),
                    functions={name: FunctionInfo.from_dict(info)
                               for name, info in data["functions"].items()},
-                   classes=tuple(data["classes"]))
+                   classes=tuple(data["classes"]),
+                   global_names=tuple(data.get("global_names", [])),
+                   handle_globals=tuple(data.get("handle_globals", [])))
 
 
 # ---------------------------------------------------------------------------
@@ -328,14 +374,54 @@ def _annotation_str(node: ast.expr | None) -> str | None:
         return None
 
 
+#: Call tails whose module-level result is an OS handle a forked worker
+#: must never inherit silently (files, locks, IPC primitives).
+_HANDLE_CTORS = {"open", "Lock", "RLock", "Semaphore", "BoundedSemaphore",
+                 "Condition", "Event", "Barrier", "Queue", "Pool",
+                 "TemporaryFile", "NamedTemporaryFile", "socket"}
+
+
 class _ModuleIndexer:
-    def __init__(self, dotted: str, relpath: str) -> None:
+    def __init__(self, dotted: str, relpath: str,
+                 contracts: dict[int, ShapeInfo] | None = None) -> None:
         self.index = ModuleIndex(dotted=dotted, relpath=relpath)
         self.constants: dict[str, Interval] = {}
+        self.contracts = contracts or {}
+        self.module_globals: set[str] = set()
+        self.numpy_names: frozenset[str] = frozenset(("np", "numpy"))
 
     # -- entry -------------------------------------------------------------
 
+    def _prescan_globals(self, tree: ast.Module) -> None:
+        """Module-scope assigned names plus the handle-valued subset."""
+        handles: list[str] = []
+        numpy_locals = {"np", "numpy"}
+        for node in tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        numpy_locals.add(alias.asname or "numpy")
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            names = [name for target in targets
+                     for sub in ast.walk(target)
+                     if isinstance(sub, ast.Name)
+                     for name in (sub.id,)]
+            self.module_globals.update(names)
+            value = getattr(node, "value", None)
+            if names and isinstance(value, ast.Call):
+                raw = _dotted(value.func)
+                if raw and raw.rsplit(".", 1)[-1] in _HANDLE_CTORS:
+                    handles.extend(names)
+        self.index.global_names = tuple(sorted(self.module_globals))
+        self.index.handle_globals = tuple(sorted(set(handles)))
+        self.numpy_names = frozenset(numpy_locals)
+
     def build(self, tree: ast.Module) -> ModuleIndex:
+        self._prescan_globals(tree)
         module_scope = FunctionInfo(qualname=MODULE_SCOPE, lineno=1)
         classes: list[str] = []
         for node in tree.body:
@@ -419,10 +505,13 @@ class _ModuleIndexer:
                     and param is positional[0]:
                 continue
             params.append(self._param_info(qualname, param, default,
-                                           kwonly=False))
+                                           kwonly=False,
+                                           def_lineno=node.lineno))
         for param, default in zip(args.kwonlyargs, args.kw_defaults):
             params.append(self._param_info(qualname, param, default,
-                                           kwonly=True))
+                                           kwonly=True,
+                                           def_lineno=node.lineno))
+        reads, writes = global_access(node, self.module_globals)
         info = FunctionInfo(
             qualname=qualname, lineno=node.lineno, params=params,
             is_method=class_name is not None,
@@ -430,15 +519,21 @@ class _ModuleIndexer:
             has_varargs=args.vararg is not None,
             has_kwargs=args.kwarg is not None,
             return_kind=kind_of_qualified(
-                f"{self.index.dotted}.{qualname}"))
+                f"{self.index.dotted}.{qualname}"),
+            def_uses=def_use_records(node),
+            global_reads=reads, global_writes=writes,
+            return_contract=self.contracts.get(node.lineno))
         param_kinds = {p.name: p.kind for p in params}
         local_env = self._local_env(node)
+        shape_env = self._shape_env(node, params)
         for statement in node.body:
-            self._collect_calls(statement, info, param_kinds, local_env)
+            self._collect_calls(statement, info, param_kinds, local_env,
+                                shape_env)
         self.index.functions[qualname] = info
 
     def _param_info(self, qualname: str, param: ast.arg,
-                    default: ast.expr | None, kwonly: bool) -> ParamInfo:
+                    default: ast.expr | None, kwonly: bool,
+                    def_lineno: int = -1) -> ParamInfo:
         qualified = f"{self.index.dotted}.{qualname}.{param.arg}"
         return ParamInfo(
             name=param.arg, kind=kind_of_qualified(qualified),
@@ -447,7 +542,42 @@ class _ModuleIndexer:
             annotation=_annotation_str(param.annotation),
             has_default=default is not None,
             default_interval=(interval_of_expr(default, self.constants)
-                              if default is not None else None))
+                              if default is not None else None),
+            # A contract on the ``def`` line is the *return* contract; a
+            # parameter only owns one when signatures span lines.
+            shape_contract=(self.contracts.get(param.lineno)
+                            if param.lineno != def_lineno else None))
+
+    def _shape_env(self, node: ast.FunctionDef | ast.AsyncFunctionDef,
+                   params: list[ParamInfo]) -> dict[str, ShapeInfo]:
+        """Shapes of contracted params and single-assignment locals."""
+        env: dict[str, ShapeInfo] = {
+            param.name: param.shape_contract for param in params
+            if param.shape_contract is not None}
+        counts: dict[str, int] = {}
+        for statement in ast.walk(node):
+            if isinstance(statement, (ast.Assign, ast.AugAssign,
+                                      ast.AnnAssign)):
+                targets = statement.targets \
+                    if isinstance(statement, ast.Assign) \
+                    else [statement.target]
+                for target in targets:
+                    for name_node in ast.walk(target):
+                        if isinstance(name_node, ast.Name):
+                            counts[name_node.id] = \
+                                counts.get(name_node.id, 0) + 1
+        for statement in ast.walk(node):
+            if isinstance(statement, ast.Assign) \
+                    and len(statement.targets) == 1 \
+                    and isinstance(statement.targets[0], ast.Name) \
+                    and counts.get(statement.targets[0].id) == 1:
+                name = statement.targets[0].id
+                declared = self.contracts.get(statement.lineno)
+                inferred = declared if declared is not None else infer_expr(
+                    statement.value, env, self.numpy_names)
+                if inferred is not None:
+                    env[name] = inferred
+        return env
 
     def _local_env(self, node: ast.FunctionDef | ast.AsyncFunctionDef
                    ) -> dict[str, Interval]:
@@ -479,7 +609,10 @@ class _ModuleIndexer:
 
     def _collect_calls(self, node: ast.AST, into: FunctionInfo,
                        param_kinds: dict[str, str | None],
-                       env: dict[str, Interval]) -> None:
+                       env: dict[str, Interval],
+                       shape_env: dict[str, ShapeInfo] | None = None
+                       ) -> None:
+        shape_env = shape_env if shape_env is not None else {}
         for call in ast.walk(node):
             if not isinstance(call, ast.Call):
                 continue
@@ -500,21 +633,25 @@ class _ModuleIndexer:
                     continue
                 info.args.append(ArgInfo(
                     kind=kind_of_expr(arg, param_kinds),
-                    interval=interval_of_expr(arg, env)))
+                    interval=interval_of_expr(arg, env),
+                    shape=infer_expr(arg, shape_env, self.numpy_names)))
             for keyword in call.keywords:
                 if keyword.arg is None:
                     info.has_star_kw = True
                     continue
                 info.kwargs[keyword.arg] = ArgInfo(
                     kind=kind_of_expr(keyword.value, param_kinds),
-                    interval=interval_of_expr(keyword.value, env))
+                    interval=interval_of_expr(keyword.value, env),
+                    shape=infer_expr(keyword.value, shape_env,
+                                     self.numpy_names))
             into.calls.append(info)
 
 
-def build_module_index(dotted: str, relpath: str,
-                       tree: ast.Module) -> ModuleIndex:
+def build_module_index(dotted: str, relpath: str, tree: ast.Module,
+                       contracts: dict[int, ShapeInfo] | None = None
+                       ) -> ModuleIndex:
     """Index one parsed module (pass 1 unit of work; cacheable)."""
-    return _ModuleIndexer(dotted, relpath).build(tree)
+    return _ModuleIndexer(dotted, relpath, contracts).build(tree)
 
 
 # ---------------------------------------------------------------------------

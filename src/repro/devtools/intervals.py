@@ -24,15 +24,22 @@ Interval = tuple[float, float]
 _INF = math.inf
 
 
-def _mul(a: Interval, b: Interval) -> Interval:
+def _mul(a: Interval, b: Interval) -> Interval | None:
     products = [a[0] * b[0], a[0] * b[1], a[1] * b[0], a[1] * b[1]]
-    finite = [p for p in products if not math.isnan(p)]
-    return (min(finite), max(finite))
+    # ``0 * inf`` is NaN: the true corner value depends on how each factor
+    # approaches its bound, so no corner product is trustworthy.  Strict
+    # soundness: any NaN corner makes the whole product unknown (the old
+    # code dropped NaNs and crashed on ``min([])`` when all four were).
+    if any(math.isnan(p) for p in products):
+        return None
+    return (min(products), max(products))
 
 
 def _div(a: Interval, b: Interval) -> Interval | None:
     if b[0] <= 0.0 <= b[1]:
         return None  # denominator may be zero: no provable bounds
+    if math.isinf(b[0]) and math.isinf(b[1]):
+        return None  # 1/inf collapses to (0, 0); NaN via _mul otherwise
     inverted = (1.0 / b[1], 1.0 / b[0])
     return _mul(a, inverted)
 
@@ -107,9 +114,15 @@ def interval_of_expr(node: ast.expr,
         if body is None or orelse is None:
             return None
         return (min(body[0], orelse[0]), max(body[1], orelse[1]))
-    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
-            and not node.keywords:
-        return _call_interval(node.func.id,
+    if isinstance(node, ast.Call) and not node.keywords:
+        if isinstance(node.func, ast.Name):
+            name = node.func.id
+        elif isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "clip":
+            name = "clip"  # np.clip(x, lo, hi) narrows like the builtin
+        else:
+            return None
+        return _call_interval(name,
                               [interval_of_expr(arg, env)
                                for arg in node.args])
     return None
@@ -146,6 +159,14 @@ def _call_interval(name: str,
         high = max(arg[1] for arg in known) if len(known) == len(args) \
             else _INF
         return (low, high)
+    if name == "clip" and len(args) == 3:
+        # clip(x, lo, hi) narrows to [lo, hi] even when x is unknown.
+        x, lo, hi = args
+        if lo is None or hi is None:
+            return None
+        x = x if x is not None else (-_INF, _INF)
+        return (min(max(x[0], lo[0]), hi[0]),
+                min(max(x[1], lo[1]), hi[1]))
     return None
 
 

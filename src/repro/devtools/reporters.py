@@ -49,6 +49,9 @@ def render_json(report: LintReport) -> str:
             "hits": report.cache_hits,
             "misses": report.cache_misses,
         },
+        "timing": {
+            "pass1_seconds": round(report.index_seconds, 3),
+        },
         "findings": [
             {
                 "path": finding.path,

@@ -5,7 +5,10 @@ Importing this package populates the registry: each rule module applies the
 R1--R4 are the per-file/per-project families from the first devtools
 iteration; R5--R8 (units, probability domain, rng reachability, experiment
 registry) are the whole-program families that run over the pass-1 index;
-R9 (event-schema) pins observability emit sites to the declared schema.
+R9 (event-schema) pins observability emit sites to the declared schema;
+R10--R12 (rng order-sensitivity, fork-safety, shape/dtype contracts) are
+the data-flow families built on :mod:`repro.devtools.dataflow` and
+:mod:`repro.devtools.shapes`.
 """
 
 from repro.devtools.rules.base import (
@@ -22,6 +25,7 @@ from repro.devtools.rules.registry import (
 
 # Importing for side effect: these modules register their rules.
 from repro.devtools.rules import api as _api
+from repro.devtools.rules import concurrency as _concurrency
 from repro.devtools.rules import determinism as _determinism
 from repro.devtools.rules import experiments as _experiments
 from repro.devtools.rules import numeric as _numeric
@@ -29,6 +33,7 @@ from repro.devtools.rules import observability as _observability
 from repro.devtools.rules import probability as _probability
 from repro.devtools.rules import protocol as _protocol
 from repro.devtools.rules import reachability as _reachability
+from repro.devtools.rules import shapes as _shapes
 from repro.devtools.rules import units as _units
 
 __all__ = [

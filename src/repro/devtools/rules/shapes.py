@@ -1,0 +1,203 @@
+"""R12 -- numpy shape/dtype contracts.
+
+The rule is *contract-driven*: a ``# repro: shape(n, m) dtype=complex128``
+comment declares what an array-valued name (or parameter, or return value)
+must hold, and the inference of :mod:`repro.devtools.shapes` checks every
+assignment, augmented assignment, return and -- through the pass-1 index
+-- every call site against the declaration.  Without a contract nothing
+fires, and unknown inference never conflicts, so the rule has no opinion
+about unannotated code; with one, a complex128 residual silently flowing
+into a float64 slot in ``phy/anc.py`` is a blocking finding instead of a
+wrong decoded bit.
+
+Per-module checks (``check_module``) verify the declaring module itself;
+the cross-file check (``check_project``) walks exactly-resolved calls and
+compares each argument's inferred :class:`ShapeInfo` against the callee
+parameter's contract.  Name-based (ambiguous) call candidates are skipped:
+a finding must be provable, not plausible.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.devtools.config import LintConfig
+from repro.devtools.findings import Finding
+from repro.devtools.rules.base import ModuleContext, ProjectContext, Rule
+from repro.devtools.rules.registry import register
+from repro.devtools.shapes import (
+    ShapeInfo,
+    dims_conflict,
+    dtype_conflict,
+    infer_expr,
+    parse_shape_contracts,
+)
+
+_FUNCTIONS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+@register
+class ShapeContract(Rule):
+    """`# repro: shape(...)` declarations are enforced, not decorative."""
+
+    name = "shape-contract"
+    description = ("an assignment, return or call argument that provably "
+                   "violates a `# repro: shape(...)` contract (dtype "
+                   "widening, complex/real mixing, rank mismatch) changes "
+                   "numerical results silently on the PHY hot paths")
+
+    # -- per-module --------------------------------------------------------
+
+    def check_module(self, module: ModuleContext,
+                     config: LintConfig) -> Iterable[Finding]:
+        contracts = parse_shape_contracts(module.source)
+        if not contracts:
+            return
+        tree = module.tree
+        numpy_names = self._numpy_names(tree)
+        yield from self._check_body(module, tree.body, contracts,
+                                    numpy_names, env={}, contracted={},
+                                    return_contract=None)
+        for func in ast.walk(tree):
+            if isinstance(func, _FUNCTIONS):
+                yield from self._check_function(module, func, contracts,
+                                                numpy_names)
+
+    @staticmethod
+    def _numpy_names(tree: ast.Module) -> frozenset[str]:
+        names = {"np", "numpy"}
+        for node in tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        names.add(alias.asname or "numpy")
+        return frozenset(names)
+
+    def _check_function(self, module: ModuleContext,
+                        func: ast.FunctionDef | ast.AsyncFunctionDef,
+                        contracts: dict[int, ShapeInfo],
+                        numpy_names: frozenset[str]) -> Iterator[Finding]:
+        env: dict[str, ShapeInfo] = {}
+        contracted: dict[str, ShapeInfo] = {}
+        for arg in [*func.args.posonlyargs, *func.args.args,
+                    *func.args.kwonlyargs]:
+            if arg.lineno == func.lineno:
+                continue  # a def-line contract belongs to the return value
+            contract = contracts.get(arg.lineno)
+            if contract is not None:
+                env[arg.arg] = contract
+                contracted[arg.arg] = contract
+        yield from self._check_body(
+            module, func.body, contracts, numpy_names, env=env,
+            contracted=contracted,
+            return_contract=contracts.get(func.lineno))
+
+    def _check_body(self, module: ModuleContext, body: list[ast.stmt],
+                    contracts: dict[int, ShapeInfo],
+                    numpy_names: frozenset[str],
+                    env: dict[str, ShapeInfo],
+                    contracted: dict[str, ShapeInfo],
+                    return_contract: ShapeInfo | None) -> Iterator[Finding]:
+        for stmt in body:
+            if isinstance(stmt, _FUNCTIONS) or isinstance(stmt, ast.ClassDef):
+                continue  # separate scope, separate pass
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name):
+                name = stmt.targets[0].id
+                inferred = infer_expr(stmt.value, env, numpy_names)
+                declared = contracts.get(stmt.lineno)
+                if declared is not None:
+                    contracted[name] = declared
+                yield from self._conflicts(
+                    module, stmt.lineno, contracted.get(name), inferred,
+                    subject=f"assignment to `{name}`")
+                known = contracted.get(name) or inferred
+                if known is not None:
+                    env[name] = known
+                else:
+                    env.pop(name, None)
+            elif isinstance(stmt, ast.AugAssign) \
+                    and isinstance(stmt.target, ast.Name):
+                contract = contracted.get(stmt.target.id)
+                inferred = infer_expr(stmt.value, env, numpy_names)
+                yield from self._conflicts(
+                    module, stmt.lineno, contract, inferred,
+                    subject=f"augmented assignment to `{stmt.target.id}`",
+                    dims=False)
+            elif isinstance(stmt, ast.Return) and stmt.value is not None:
+                inferred = infer_expr(stmt.value, env, numpy_names)
+                yield from self._conflicts(
+                    module, stmt.lineno, return_contract, inferred,
+                    subject="return value")
+            for attr in ("body", "orelse", "finalbody"):
+                child = getattr(stmt, attr, None)
+                if isinstance(child, list) and child \
+                        and isinstance(child[0], ast.stmt):
+                    yield from self._check_body(
+                        module, child, contracts, numpy_names, env,
+                        contracted, return_contract)
+            for handler in getattr(stmt, "handlers", []):
+                yield from self._check_body(
+                    module, handler.body, contracts, numpy_names, env,
+                    contracted, return_contract)
+
+    def _conflicts(self, module: ModuleContext, lineno: int,
+                   declared: ShapeInfo | None, inferred: ShapeInfo | None,
+                   subject: str, dims: bool = True) -> Iterator[Finding]:
+        if declared is None or inferred is None:
+            return
+        message = dtype_conflict(declared.dtype, inferred.dtype)
+        if message is not None:
+            yield self.finding(
+                module, lineno,
+                f"{subject} violates declared {declared.describe()}: "
+                f"{message}")
+        if dims:
+            message = dims_conflict(declared.dims, inferred.dims)
+            if message is not None:
+                yield self.finding(
+                    module, lineno,
+                    f"{subject} violates declared {declared.describe()}: "
+                    f"{message}")
+
+    # -- cross-file call checking -----------------------------------------
+
+    def check_project(self, project: ProjectContext,
+                      config: LintConfig) -> Iterable[Finding]:
+        index = project.index
+        if index is None:
+            return
+        for module, function in index.all_functions():
+            for call in function.calls:
+                if call.has_star or call.has_star_kw:
+                    continue
+                candidates = index.resolve_call(module, function, call)
+                if len(candidates) != 1 or candidates[0].name_based:
+                    continue
+                callee = candidates[0].function
+                if callee.has_varargs or callee.has_kwargs:
+                    continue
+                pairs = list(zip(callee.params, call.args))
+                by_name = {param.name: param for param in callee.params}
+                pairs.extend(
+                    (by_name[keyword], arg)
+                    for keyword, arg in call.kwargs.items()
+                    if keyword in by_name)
+                for param, arg in pairs:
+                    if param.shape_contract is None or arg.shape is None:
+                        continue
+                    yield from self._call_conflicts(
+                        module.relpath, call.lineno, callee.name,
+                        param, arg.shape)
+
+    def _call_conflicts(self, relpath: str, lineno: int, callee: str,
+                        param, shape: ShapeInfo) -> Iterator[Finding]:
+        contract = param.shape_contract
+        message = dtype_conflict(contract.dtype, shape.dtype) \
+            or dims_conflict(contract.dims, shape.dims)
+        if message is not None:
+            yield self.finding(
+                relpath, lineno,
+                f"argument `{param.name}` of `{callee}(...)` violates its "
+                f"declared {contract.describe()}: {message}")

@@ -1,0 +1,323 @@
+"""Lightweight shape/dtype inference for numpy arrays (for R12).
+
+The ANC residual-cascade math in ``phy/`` lives or dies on dtype
+discipline: a complex128 residual silently widened to complex from a
+float64 buffer, or narrowed through ``.real``, changes the decoded bits
+without raising.  This module gives the shape-contract rule a conservative
+abstract domain:
+
+* :class:`ShapeInfo` -- ``(dims, dtype)`` where ``dims`` is a tuple of
+  symbolic dimension names (``("n", "2")``) or ``None`` for unknown rank,
+  and ``dtype`` is a canonical numpy dtype name or ``None``.
+* :func:`parse_shape_contracts` -- the ``# repro: shape(...)`` comment
+  syntax.  ``# repro: shape(n, m) dtype=complex128`` on an assignment
+  declares the target; on a parameter line it declares the parameter; on
+  a ``def`` line it declares the return value.  ``shape(any)`` declares
+  the dtype only.
+* :func:`infer_expr` -- bottom-up inference over the constructors that
+  pin a dtype exactly (``np.zeros``/``empty``/``full``/``asarray`` with a
+  dtype argument, ``astype``, ``.real``/``.imag``, ``np.abs``) and the
+  arithmetic that combines them.  Anything else is unknown, so the rule
+  only fires on *provable* contract violations.
+
+Inference never guesses: an unknown operand makes the result's dtype
+unknown, and unknown never conflicts with any contract.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Mapping
+
+#: Widening order.  A value of higher rank stored where a lower rank was
+#: declared is a provable contract violation; equal-or-lower is fine.
+DTYPE_RANK = {
+    "bool": 0,
+    "int8": 1, "uint8": 1,
+    "int16": 2, "uint16": 2,
+    "int32": 3, "uint32": 3,
+    "int64": 4, "uint64": 4, "int": 4, "intp": 4,
+    "float32": 5,
+    "float64": 6, "float": 6,
+    "complex64": 7,
+    "complex128": 8, "complex": 8,
+}
+
+_COMPLEX_RANK = DTYPE_RANK["complex64"]
+
+#: ``np.abs``/``.real``/``.imag`` of a complex array yields its real twin.
+_REAL_OF = {"complex64": "float32", "complex128": "float64"}
+
+_CONTRACT = re.compile(
+    r"#\s*repro:\s*shape\(([^)]*)\)(?:\s+dtype=([\w.]+))?")
+
+
+def normalize_dtype(text: str | None) -> str | None:
+    """``np.complex128``/``"complex128"`` -> ``complex128``; else None."""
+    if text is None:
+        return None
+    name = text.strip().strip("\"'").rsplit(".", 1)[-1]
+    return name if name in DTYPE_RANK else None
+
+
+def is_complex_dtype(dtype: str | None) -> bool:
+    rank = DTYPE_RANK.get(dtype or "")
+    return rank is not None and rank >= _COMPLEX_RANK
+
+
+@dataclass(frozen=True)
+class ShapeInfo:
+    """Abstract value of an array expression (None fields = unknown)."""
+
+    dims: tuple[str, ...] | None = None
+    dtype: str | None = None
+
+    def describe(self) -> str:
+        dims = "any" if self.dims is None else ", ".join(self.dims)
+        dtype = self.dtype or "?"
+        return f"shape({dims}) dtype={dtype}"
+
+    def to_dict(self) -> dict:
+        return {"dims": list(self.dims) if self.dims is not None else None,
+                "dtype": self.dtype}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShapeInfo":
+        dims = data.get("dims")
+        return cls(dims=tuple(dims) if dims is not None else None,
+                   dtype=data.get("dtype"))
+
+
+def parse_shape_contracts(source: str) -> dict[int, ShapeInfo]:
+    """Line number -> declared :class:`ShapeInfo` for contract comments."""
+    contracts: dict[int, ShapeInfo] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _CONTRACT.search(line)
+        if match is None:
+            continue
+        dims_text = match.group(1).strip()
+        if dims_text.lower() == "any":
+            dims: tuple[str, ...] | None = None
+        else:
+            dims = tuple(part.strip() for part in dims_text.split(",")
+                         if part.strip())
+        contracts[lineno] = ShapeInfo(dims=dims,
+                                      dtype=normalize_dtype(match.group(2)))
+    return contracts
+
+
+# ---------------------------------------------------------------------------
+# conflict checks
+
+def dtype_conflict(declared: str | None,
+                   inferred: str | None) -> str | None:
+    """Human-readable conflict when ``inferred`` violates ``declared``."""
+    if declared is None or inferred is None:
+        return None
+    declared_rank = DTYPE_RANK.get(declared)
+    inferred_rank = DTYPE_RANK.get(inferred)
+    if declared_rank is None or inferred_rank is None:
+        return None
+    if inferred_rank <= declared_rank:
+        return None
+    if is_complex_dtype(inferred) and not is_complex_dtype(declared):
+        return (f"complex value ({inferred}) flows into a slot declared "
+                f"{declared}: real/complex mixing in a residual path "
+                "changes decoded bits silently")
+    return (f"dtype widens from declared {declared} to {inferred}; "
+            "widening on a hot path doubles memory traffic and breaks "
+            "byte-identical artefacts")
+
+
+def dims_conflict(declared: tuple[str, ...] | None,
+                  inferred: tuple[str, ...] | None) -> str | None:
+    """Conflict when both shapes are known and provably incompatible."""
+    if declared is None or inferred is None:
+        return None
+    if len(declared) != len(inferred):
+        return (f"rank mismatch: declared {len(declared)}-d "
+                f"({', '.join(declared) or 'scalar'}) but value is "
+                f"{len(inferred)}-d ({', '.join(inferred) or 'scalar'})")
+    for want, got in zip(declared, inferred):
+        if want.isdigit() and got.isdigit() and want != got:
+            return f"dimension mismatch: declared {want}, got {got}"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# inference
+
+#: numpy constructors whose dtype defaults to float64 without a ``dtype=``.
+_FLOAT_CTORS = {"zeros", "ones", "empty", "full"}
+_LIKE_CTORS = {"zeros_like", "ones_like", "empty_like", "full_like"}
+_CAST_CTORS = {"asarray", "array", "ascontiguousarray", "asfarray"}
+_ABS_FUNCS = {"abs", "absolute"}
+
+
+def _dims_of_shape_arg(node: ast.expr) -> tuple[str, ...] | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return (str(node.value),)
+    if isinstance(node, ast.Name):
+        return (node.id,)
+    if isinstance(node, ast.Attribute):
+        return (node.attr,)
+    if isinstance(node, (ast.Tuple, ast.List)):
+        dims = []
+        for element in node.elts:
+            part = _dims_of_shape_arg(element)
+            if part is None or len(part) != 1:
+                return None
+            dims.append(part[0])
+        return tuple(dims)
+    return None
+
+
+def _dtype_kwarg(node: ast.Call) -> str | None:
+    for keyword in node.keywords:
+        if keyword.arg == "dtype":
+            try:
+                return normalize_dtype(ast.unparse(keyword.value))
+            except Exception:  # pragma: no cover - malformed dtype expr
+                return None
+    return None
+
+
+def infer_expr(node: ast.expr, env: Mapping[str, ShapeInfo],
+               numpy_names: frozenset[str] = frozenset(("np", "numpy")),
+               ) -> ShapeInfo | None:
+    """Abstract shape/dtype of ``node`` under ``env``, or None if unknown."""
+    if isinstance(node, ast.Name):
+        return env.get(node.id)
+    if isinstance(node, ast.Call):
+        return _infer_call(node, env, numpy_names)
+    if isinstance(node, ast.Attribute):
+        if node.attr in ("real", "imag"):
+            base = infer_expr(node.value, env, numpy_names)
+            if base is None:
+                return None
+            return ShapeInfo(dims=base.dims,
+                             dtype=_REAL_OF.get(base.dtype or "",
+                                                base.dtype))
+        if node.attr == "T":
+            base = infer_expr(node.value, env, numpy_names)
+            if base is None:
+                return None
+            dims = tuple(reversed(base.dims)) if base.dims else base.dims
+            return ShapeInfo(dims=dims, dtype=base.dtype)
+        return None
+    if isinstance(node, ast.UnaryOp) and isinstance(
+            node.op, (ast.USub, ast.UAdd)):
+        return infer_expr(node.operand, env, numpy_names)
+    if isinstance(node, ast.Subscript):
+        base = infer_expr(node.value, env, numpy_names)
+        if base is None:
+            return None
+        return ShapeInfo(dims=None, dtype=base.dtype)
+    if isinstance(node, ast.BinOp):
+        return _infer_binop(node, env, numpy_names)
+    return None
+
+
+def _infer_call(node: ast.Call, env: Mapping[str, ShapeInfo],
+                numpy_names: frozenset[str]) -> ShapeInfo | None:
+    func = node.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name) \
+            and func.value.id in numpy_names:
+        name = func.attr
+        if name in _FLOAT_CTORS and node.args:
+            return ShapeInfo(dims=_dims_of_shape_arg(node.args[0]),
+                             dtype=_dtype_kwarg(node) or "float64")
+        if name in _LIKE_CTORS and node.args:
+            base = infer_expr(node.args[0], env, numpy_names)
+            dims = base.dims if base else None
+            dtype = _dtype_kwarg(node) or (base.dtype if base else None)
+            return ShapeInfo(dims=dims, dtype=dtype)
+        if name in _CAST_CTORS and node.args:
+            base = infer_expr(node.args[0], env, numpy_names)
+            dtype = _dtype_kwarg(node)
+            if dtype is None and len(node.args) > 1:
+                try:
+                    dtype = normalize_dtype(ast.unparse(node.args[1]))
+                except Exception:  # pragma: no cover
+                    dtype = None
+            if dtype is None and base is not None:
+                dtype = base.dtype
+            return ShapeInfo(dims=base.dims if base else None, dtype=dtype)
+        if name in _ABS_FUNCS and node.args:
+            base = infer_expr(node.args[0], env, numpy_names)
+            if base is None:
+                return None
+            return ShapeInfo(dims=base.dims,
+                             dtype=_REAL_OF.get(base.dtype or "",
+                                                base.dtype))
+        if name in ("conj", "conjugate") and node.args:
+            return infer_expr(node.args[0], env, numpy_names)
+        return None
+    if isinstance(func, ast.Attribute) and func.attr == "astype" \
+            and node.args:
+        base = infer_expr(func.value, env, numpy_names)
+        try:
+            dtype = normalize_dtype(ast.unparse(node.args[0]))
+        except Exception:  # pragma: no cover
+            dtype = None
+        return ShapeInfo(dims=base.dims if base else None, dtype=dtype)
+    if isinstance(func, ast.Attribute) and func.attr in ("copy", "ravel",
+                                                         "flatten"):
+        base = infer_expr(func.value, env, numpy_names)
+        if base is None:
+            return None
+        if func.attr in ("ravel", "flatten"):
+            return ShapeInfo(dims=None, dtype=base.dtype)
+        return base
+    return None
+
+
+def _infer_binop(node: ast.BinOp, env: Mapping[str, ShapeInfo],
+                 numpy_names: frozenset[str]) -> ShapeInfo | None:
+    left = infer_expr(node.left, env, numpy_names)
+    right = infer_expr(node.right, env, numpy_names)
+    # A plain scalar literal never changes the array dtype class we track
+    # conservatively; treat `arr * 2.0` as the array's info when the other
+    # operand is a numeric constant of equal-or-lower rank.
+    left = left or _const_info(node.left)
+    right = right or _const_info(node.right)
+    if left is None or right is None:
+        return None
+    if isinstance(node.op, ast.MatMult):
+        dims: tuple[str, ...] | None = None
+    elif left.dims is not None and right.dims is not None:
+        dims = left.dims if left.dims == right.dims else None
+        if dims is None and (left.dims == () or right.dims == ()):
+            dims = left.dims if right.dims == () else right.dims
+    elif left.dims == () or right.dims == ():
+        dims = right.dims if left.dims == () else left.dims
+    else:
+        dims = None
+    if left.dtype is None or right.dtype is None:
+        dtype = None
+    else:
+        dtype = max(left.dtype, right.dtype,
+                    key=lambda name: DTYPE_RANK.get(name, -1))
+        if isinstance(node.op, ast.Div) \
+                and DTYPE_RANK.get(dtype, 9) < DTYPE_RANK["float32"]:
+            dtype = "float64"  # true division promotes integers
+    return ShapeInfo(dims=dims, dtype=dtype)
+
+
+def _const_info(node: ast.expr) -> ShapeInfo | None:
+    if isinstance(node, ast.UnaryOp) and isinstance(
+            node.op, (ast.USub, ast.UAdd)):
+        return _const_info(node.operand)
+    if not isinstance(node, ast.Constant):
+        return None
+    if isinstance(node.value, bool):
+        return ShapeInfo(dims=(), dtype="bool")
+    if isinstance(node.value, int):
+        return ShapeInfo(dims=(), dtype="int64")
+    if isinstance(node.value, float):
+        return ShapeInfo(dims=(), dtype="float64")
+    if isinstance(node.value, complex):
+        return ShapeInfo(dims=(), dtype="complex128")
+    return None

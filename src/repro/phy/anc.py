@@ -49,7 +49,7 @@ def estimate_amplitudes(mixed: np.ndarray) -> AmplitudeEstimate:
     mixed = np.asarray(mixed, dtype=np.complex128)
     if mixed.size == 0:
         raise ValueError("mixed signal is empty")
-    power = np.abs(mixed) ** 2
+    power = np.abs(mixed) ** 2  # repro: shape(any) dtype=float64
     mu = float(power.mean())
     above = power[power > mu]
     sigma = float(2.0 * above.sum() / power.size)
@@ -63,7 +63,10 @@ def estimate_amplitudes(mixed: np.ndarray) -> AmplitudeEstimate:
                              mu=mu, sigma=sigma)
 
 
-def subtract_known(mixed: np.ndarray, known: np.ndarray) -> np.ndarray:
+def subtract_known(
+    mixed: np.ndarray,  # repro: shape(w) dtype=complex128
+    known: np.ndarray,  # repro: shape(w) dtype=complex128
+) -> np.ndarray:
     """Remove a known constituent signal from a recorded mixed signal."""
     mixed = np.asarray(mixed, dtype=np.complex128)
     known = np.asarray(known, dtype=np.complex128)
@@ -89,7 +92,7 @@ def resolve_collision(mixed: np.ndarray, known_signals: list[np.ndarray],
     happens when more than one unknown constituent remains, or when noise has
     accumulated beyond what the demodulator tolerates.
     """
-    residual = np.asarray(mixed, dtype=np.complex128)
+    residual = np.asarray(mixed, dtype=np.complex128)  # repro: shape(any) dtype=complex128
     for known in known_signals:
         residual = subtract_known(residual, known)
     bits = decode_residual(residual, samples_per_bit)
@@ -110,7 +113,7 @@ def least_squares_cancel(mixed: np.ndarray, known_bits: list[np.ndarray],
     waveforms are nearly orthogonal over a 96-bit ID).  Returns the recovered
     bit frame of the remaining constituent, or ``None`` if the CRC rejects it.
     """
-    mixed = np.asarray(mixed, dtype=np.complex128)
+    mixed = np.asarray(mixed, dtype=np.complex128)  # repro: shape(w) dtype=complex128
     if not known_bits:
         raise ValueError("need at least one known constituent")
     basis = np.column_stack([
@@ -120,7 +123,7 @@ def least_squares_cancel(mixed: np.ndarray, known_bits: list[np.ndarray],
     if basis.shape[0] != mixed.size:
         raise ValueError("known constituents do not match the mix length")
     gains, *_ = np.linalg.lstsq(basis, mixed, rcond=None)
-    residual = mixed - basis @ gains
+    residual = mixed - basis @ gains  # repro: shape(w) dtype=complex128
     bits = decode_residual(residual, samples_per_bit)
     if bits.size and verify_crc_bits(bits):
         return bits
@@ -139,7 +142,7 @@ def estimate_phase_offset(received: np.ndarray, own_bits: np.ndarray,
     is (close to) a constant-envelope MSK signal, so envelope variance is a
     natural goodness-of-fit measure.
     """
-    received = np.asarray(received, dtype=np.complex128)
+    received = np.asarray(received, dtype=np.complex128)  # repro: shape(any) dtype=complex128
     base = msk_modulate(own_bits, amplitude=own_amplitude,
                         samples_per_bit=samples_per_bit)
     if base.shape != received.shape:

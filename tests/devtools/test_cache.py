@@ -3,8 +3,12 @@
 from __future__ import annotations
 
 import json
+import sys
+import types
+from pathlib import Path
 
 from repro.devtools import LintEngine
+from repro.devtools.cache import rule_sources_digest
 
 BAD = """\
     def check(p, log=[]):
@@ -81,6 +85,46 @@ class TestCacheInvalidation:
         tree.write("repro/core/a.py", BAD)
         report = LintEngine(select=RULES).lint_paths([tree.root])
         assert (report.cache_hits, report.cache_misses) == (0, 0)
+
+
+class TestRuleSourceInvalidation:
+    """Cached findings were produced by rule *code*: editing a rule module
+    (same rule names, same config) must invalidate the whole cache."""
+
+    def test_digest_tracks_rule_file_bytes(self, tmp_path):
+        path = tmp_path / "fake_rule.py"
+        path.write_text("THRESHOLD = 1\n")
+        module = types.ModuleType("_fake_rule_mod")
+        module.__file__ = str(path)
+        sys.modules["_fake_rule_mod"] = module
+        try:
+            class FakeRule:
+                pass
+            FakeRule.__module__ = "_fake_rule_mod"
+            before = rule_sources_digest([FakeRule()])
+            assert before == rule_sources_digest([FakeRule()])  # stable
+            path.write_text("THRESHOLD = 2\n")
+            after = rule_sources_digest([FakeRule()])
+        finally:
+            del sys.modules["_fake_rule_mod"]
+        assert before != after
+
+    def test_editing_a_rule_module_invalidates_the_cache(
+            self, tree, tmp_path, monkeypatch):
+        tree.write("repro/core/a.py", BAD)
+        # Point one active rule's defining module at a scratch copy so the
+        # test can "edit the rule" without touching the real source tree.
+        probe = _engine(tmp_path)
+        module = sys.modules[type(probe.rules[0]).__module__]
+        copy = tmp_path / "rule_copy.py"
+        copy.write_bytes(Path(module.__file__).read_bytes())
+        monkeypatch.setattr(module, "__file__", str(copy))
+        _engine(tmp_path).lint_paths([tree.root])
+        warm = _engine(tmp_path).lint_paths([tree.root])
+        assert (warm.cache_hits, warm.cache_misses) == (1, 0)
+        copy.write_bytes(copy.read_bytes() + b"\n# rule logic edited\n")
+        edited = _engine(tmp_path).lint_paths([tree.root])
+        assert (edited.cache_hits, edited.cache_misses) == (0, 1)
 
 
 class TestLazyParsing:

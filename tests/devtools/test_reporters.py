@@ -27,7 +27,9 @@ def _fixture_report(tree) -> LintReport:
         def noted(p):
             return p == 0.5  # repro: allow-float-equality -- golden sentinel
         """)
-    return tree.lint("float-equality", "mutable-default")
+    report = tree.lint("float-equality", "mutable-default")
+    report.index_seconds = 0.0  # wall time is not part of the golden
+    return report
 
 
 def test_json_matches_golden(tree):
@@ -43,7 +45,7 @@ def test_json_findings_carry_severity_and_state_fields(tree):
     report = _fixture_report(tree)
     payload = json.loads(render_json(report))
     assert set(payload) == {"modules_checked", "rules_run", "counts",
-                            "cache", "findings"}
+                            "cache", "timing", "findings"}
     for finding in payload["findings"]:
         assert set(finding) == {"path", "line", "rule", "message",
                                 "severity", "suppressed", "baselined"}

@@ -356,3 +356,43 @@ def test_multi_rule_suppression(tree):
     report = tree.lint("float-equality", "mutable-default")
     assert report.unsuppressed == []
     assert len(report.suppressed) == 2
+
+
+def test_suppression_on_decorator_line_covers_the_def(tree):
+    """Regression: a trailing comment on a decorator line used to cover
+    only that line, while findings for the function (mutable-default)
+    anchor at the `def` line below the decorators."""
+    tree.write("repro/core/thing.py", """\
+        import functools
+
+        @functools.lru_cache  # repro: allow-mutable-default -- fixture
+        def check(p, log=[]):
+            return log
+        """)
+    report = tree.lint("mutable-default")
+    assert report.ok
+    assert [f.rule for f in report.suppressed] == ["mutable-default"]
+
+
+def test_suppression_above_decorator_stack_covers_the_def(tree):
+    tree.write("repro/core/thing.py", """\
+        import functools
+
+        # repro: allow-mutable-default -- fixture
+        @functools.lru_cache
+        @functools.wraps(print)
+        def check(p, log=[]):
+            return log
+        """)
+    assert tree.lint("mutable-default").ok
+
+
+def test_decorator_suppression_stays_rule_specific(tree):
+    tree.write("repro/core/thing.py", """\
+        import functools
+
+        @functools.lru_cache  # repro: allow-float-equality -- wrong rule
+        def check(p, log=[]):
+            return log
+        """)
+    assert not tree.lint("mutable-default").ok

@@ -1,0 +1,172 @@
+"""Unit tests for the shape/dtype abstract domain (devtools.shapes)."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.shapes import (
+    ShapeInfo,
+    dims_conflict,
+    dtype_conflict,
+    infer_expr,
+    is_complex_dtype,
+    normalize_dtype,
+    parse_shape_contracts,
+)
+
+
+def _infer(source: str, env=None) -> ShapeInfo | None:
+    return infer_expr(ast.parse(source, mode="eval").body, env or {})
+
+
+# ---------------------------------------------------------------------------
+# contract comment parsing
+
+def test_parse_contract_with_dims_and_dtype():
+    contracts = parse_shape_contracts(
+        "x = make()  # repro: shape(n, m) dtype=complex128\n")
+    assert contracts == {1: ShapeInfo(dims=("n", "m"), dtype="complex128")}
+
+
+def test_parse_shape_any_leaves_dims_unknown():
+    contracts = parse_shape_contracts(
+        "x = make()  # repro: shape(any) dtype=float64\n")
+    assert contracts[1] == ShapeInfo(dims=None, dtype="float64")
+
+
+def test_parse_contract_without_dtype():
+    contracts = parse_shape_contracts("x = make()  # repro: shape(w)\n")
+    assert contracts[1] == ShapeInfo(dims=("w",), dtype=None)
+
+
+def test_parse_keys_by_physical_line():
+    source = "a = 1\nb = make()  # repro: shape(k) dtype=float32\nc = 2\n"
+    assert set(parse_shape_contracts(source)) == {2}
+
+
+def test_np_prefixed_dtype_is_normalized():
+    contracts = parse_shape_contracts(
+        "x = make()  # repro: shape(any) dtype=np.float64\n")
+    assert contracts[1].dtype == "float64"
+
+
+def test_unknown_dtype_name_is_dropped():
+    contracts = parse_shape_contracts(
+        "x = make()  # repro: shape(any) dtype=quaternion\n")
+    assert contracts[1].dtype is None
+
+
+# ---------------------------------------------------------------------------
+# dtype helpers
+
+def test_normalize_dtype():
+    assert normalize_dtype("np.complex128") == "complex128"
+    assert normalize_dtype("float64") == "float64"
+    assert normalize_dtype("'float32'") == "float32"
+    assert normalize_dtype("not_a_dtype") is None
+    assert normalize_dtype(None) is None
+
+
+def test_is_complex_dtype():
+    assert is_complex_dtype("complex128")
+    assert is_complex_dtype("complex64")
+    assert not is_complex_dtype("float64")
+    assert not is_complex_dtype(None)
+
+
+def test_dtype_conflict_directions():
+    # Widening is a conflict; narrowing and equality are not.
+    assert dtype_conflict("float64", "complex128") is not None
+    assert dtype_conflict("float64", "float32") is None
+    assert dtype_conflict("float64", "float64") is None
+    # Unknowns never conflict.
+    assert dtype_conflict(None, "complex128") is None
+    assert dtype_conflict("float64", None) is None
+
+
+def test_complex_into_real_gets_the_special_message():
+    message = dtype_conflict("float64", "complex128")
+    assert "complex" in message and "real/complex mixing" in message
+    widening = dtype_conflict("float32", "float64")
+    assert "widens" in widening
+
+
+def test_dims_conflict():
+    assert dims_conflict(("n",), ("n", "m")) is not None  # rank mismatch
+    assert dims_conflict(("4",), ("8",)) is not None      # literal mismatch
+    assert dims_conflict(("n",), ("m",)) is None          # symbols may agree
+    assert dims_conflict(None, ("n",)) is None
+    assert dims_conflict(("n",), None) is None
+
+
+# ---------------------------------------------------------------------------
+# inference
+
+def test_zeros_defaults_to_float64():
+    assert _infer("np.zeros(n)") == ShapeInfo(dims=("n",), dtype="float64")
+
+
+def test_zeros_with_dtype_kwarg():
+    info = _infer("np.zeros((n, 2), dtype=np.complex128)")
+    assert info == ShapeInfo(dims=("n", "2"), dtype="complex128")
+
+
+def test_asarray_cast_pins_the_dtype():
+    info = _infer("np.asarray(x, dtype=np.complex128)")
+    assert info is not None and info.dtype == "complex128"
+
+
+def test_abs_of_complex_is_its_real_twin():
+    env = {"z": ShapeInfo(dims=("w",), dtype="complex128")}
+    assert _infer("np.abs(z)", env) == ShapeInfo(dims=("w",),
+                                                 dtype="float64")
+
+
+def test_real_attribute_narrows():
+    env = {"z": ShapeInfo(dims=("w",), dtype="complex64")}
+    assert _infer("z.real", env) == ShapeInfo(dims=("w",), dtype="float32")
+
+
+def test_astype_overrides_the_dtype():
+    env = {"x": ShapeInfo(dims=("n",), dtype="float64")}
+    info = _infer("x.astype(np.complex128)", env)
+    assert info == ShapeInfo(dims=("n",), dtype="complex128")
+
+
+def test_binop_takes_the_wider_dtype():
+    env = {"a": ShapeInfo(dims=("w",), dtype="float64"),
+           "z": ShapeInfo(dims=("w",), dtype="complex128")}
+    assert _infer("a * z", env) == ShapeInfo(dims=("w",),
+                                             dtype="complex128")
+
+
+def test_scalar_literal_does_not_change_the_array_info():
+    env = {"a": ShapeInfo(dims=("w",), dtype="float64")}
+    assert _infer("a * 2.0", env) == ShapeInfo(dims=("w",), dtype="float64")
+
+
+def test_matmul_drops_dims_but_keeps_dtype():
+    env = {"a": ShapeInfo(dims=("n", "k"), dtype="complex128"),
+           "b": ShapeInfo(dims=("k",), dtype="complex128")}
+    info = _infer("a @ b", env)
+    assert info is not None
+    assert info.dims is None and info.dtype == "complex128"
+
+
+def test_unknown_operand_makes_the_result_unknown():
+    env = {"a": ShapeInfo(dims=("w",), dtype="float64")}
+    assert _infer("a + mystery", env) is None
+
+
+def test_subscript_keeps_dtype_drops_dims():
+    env = {"a": ShapeInfo(dims=("n", "m"), dtype="float32")}
+    info = _infer("a[0]", env)
+    assert info is not None
+    assert info.dims is None and info.dtype == "float32"
+
+
+def test_roundtrip_serialization():
+    for info in (ShapeInfo(dims=("n", "2"), dtype="complex128"),
+                 ShapeInfo(dims=None, dtype=None),
+                 ShapeInfo(dims=(), dtype="float64")):
+        assert ShapeInfo.from_dict(info.to_dict()) == info

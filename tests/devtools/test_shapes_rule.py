@@ -1,0 +1,136 @@
+"""Fixture tests for R12 (shape-contract): the ANC residual-path cases."""
+
+from __future__ import annotations
+
+
+def test_complex_into_real_declared_residual_is_flagged(tree):
+    # The ANC failure mode verbatim: a residual declared float64 receives
+    # a complex subtraction result.
+    tree.write("repro/phy/cancel.py", """\
+        import numpy as np
+
+        def cancel(mixed, known):
+            mixed = np.asarray(mixed, dtype=np.complex128)
+            known = np.asarray(known, dtype=np.complex128)
+            residual = mixed - known  # repro: shape(w) dtype=float64
+            return residual
+        """)
+    report = tree.lint("shape-contract")
+    findings = [f for f in report.unsuppressed]
+    assert [f"{f.path}:{f.line}" for f in findings] == [
+        "repro/phy/cancel.py:6"]
+    assert "complex" in findings[0].message
+
+
+def test_honest_complex_contract_is_clean(tree):
+    tree.write("repro/phy/cancel.py", """\
+        import numpy as np
+
+        def cancel(mixed, known):
+            mixed = np.asarray(mixed, dtype=np.complex128)
+            known = np.asarray(known, dtype=np.complex128)
+            residual = mixed - known  # repro: shape(w) dtype=complex128
+            return np.abs(residual)
+        """)
+    assert tree.rule_findings("shape-contract") == []
+
+
+def test_dtype_widening_on_reassignment_is_flagged(tree):
+    # The contract persists past the declaring line: a later assignment to
+    # the same name is checked against it.
+    tree.write("repro/core/buffers.py", """\
+        import numpy as np
+
+        def build(n):
+            buf = np.zeros(n, dtype=np.float32)  # repro: shape(n) dtype=float32
+            buf = np.zeros(n, dtype=np.float64)
+            return buf
+        """)
+    assert tree.rule_findings("shape-contract") == [
+        "repro/core/buffers.py:5 shape-contract"]
+
+
+def test_rank_mismatch_is_flagged(tree):
+    tree.write("repro/core/buffers.py", """\
+        import numpy as np
+
+        def build(n):
+            grid = np.zeros((n, n))  # repro: shape(n)
+            return grid
+        """)
+    report = tree.lint("shape-contract")
+    findings = report.unsuppressed
+    assert [f.line for f in findings] == [4]
+    assert "rank mismatch" in findings[0].message
+
+
+def test_return_contract_on_the_def_line(tree):
+    tree.write("repro/phy/windows.py", """\
+        import numpy as np
+
+        def window(n):  # repro: shape(n) dtype=float64
+            return np.zeros(n, dtype=np.complex128)
+        """)
+    assert tree.rule_findings("shape-contract") == [
+        "repro/phy/windows.py:4 shape-contract"]
+
+
+def test_param_contract_checked_at_the_call_site(tree):
+    # Cross-file: the caller's inferred argument dtype violates the callee
+    # parameter's declared contract.
+    tree.write("repro/phy/ops.py", """\
+        import numpy as np
+
+        def demodulate(
+            signal: np.ndarray,  # repro: shape(w) dtype=float64
+        ) -> np.ndarray:
+            return signal
+        """)
+    tree.write("repro/phy/driver.py", """\
+        import numpy as np
+
+        from repro.phy.ops import demodulate
+
+        def run(raw):
+            z = np.asarray(raw, dtype=np.complex128)
+            return demodulate(z)
+        """)
+    assert tree.rule_findings("shape-contract") == [
+        "repro/phy/driver.py:7 shape-contract"]
+
+
+def test_unannotated_code_never_fires(tree):
+    tree.write("repro/phy/free.py", """\
+        import numpy as np
+
+        def anything(x):
+            y = np.asarray(x, dtype=np.complex128)
+            z = np.zeros(3)
+            z = y  # no contract anywhere: inference stays silent
+            return z
+        """)
+    assert tree.rule_findings("shape-contract") == []
+
+
+def test_unknown_inference_never_conflicts(tree):
+    tree.write("repro/phy/free.py", """\
+        def anything(x, helper):
+            y = helper(x)  # repro: shape(w) dtype=float64
+            return y
+        """)
+    assert tree.rule_findings("shape-contract") == []
+
+
+def test_shape_contract_suppression_comment(tree):
+    tree.write("repro/phy/cancel.py", """\
+        import numpy as np
+
+        def cancel(mixed):
+            mixed = np.asarray(mixed, dtype=np.complex128)
+            # repro: allow-shape-contract -- demo of a deliberate narrowing
+            out = mixed * 1.0  # repro: shape(w) dtype=float64
+            return out
+        """)
+    report = tree.lint("shape-contract")
+    assert not tree.rule_findings("shape-contract")
+    assert any(f.suppressed for f in report.findings)

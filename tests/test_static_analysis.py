@@ -5,8 +5,10 @@ reproduction's numbers rest on: seeded determinism (R1), a shared protocol
 contract across every baseline (R2), numeric hygiene (R3), a public API
 that matches its documentation and tests (R4), units/dimension consistency
 (R5), probability-domain safety (R6), whole-program RNG reachability (R7),
-experiment-registry completeness (R8) and observability event-schema
-conformance (R9).  Any new violation must either
+experiment-registry completeness (R8), observability event-schema
+conformance (R9), RNG draw-order safety (R10), fork-safety of the sweep
+workers (R11) and numpy shape/dtype contracts (R12).  Any new violation
+must either
 be fixed or carry an explicit `# repro: allow-<rule>` suppression with a
 rationale -- the gate runs strict, without the grandfather baseline.
 """
@@ -48,6 +50,9 @@ def test_every_rule_ran():
         "rng-reachability",
         "experiment-registry",
         "event-schema",
+        "rng-order",
+        "fork-safety",
+        "shape-contract",
     }
 
 
