@@ -34,6 +34,15 @@ if [[ "${1:-}" == "--changed" ]]; then
         exit 0
     fi
     echo "== repro-lint --changed (${#changed[@]} files vs $base) =="
+    # A change to the analyzer itself invalidates the per-file shortcut:
+    # any rule's behaviour may have shifted, so lint the whole src tree.
+    for f in "${changed[@]}"; do
+        if [[ "$f" == src/repro/devtools/* ]]; then
+            echo "== devtools changed: full src lint =="
+            python -m repro.devtools src
+            exit $?
+        fi
+    done
     src_files=() other_files=()
     for f in "${changed[@]}"; do
         if [[ "$f" == src/* ]]; then src_files+=("$f");

@@ -110,6 +110,9 @@ class RecordStore:
         # collided again) are credited immediately.
         record.known = set(record.participants & self._learned)
         self._records.append(record)
+        # Indexing a record under each unknown tag mutates shared dicts:
+        # per-record bookkeeping, not a numeric loop.
+        # repro: allow-vectorization-antipattern -- bookkeeping, not numeric
         for tag in record.unknown_participants():
             self._by_tag.setdefault(tag, []).append(record)
         resolved: list[tuple[int, int]] = []
@@ -151,6 +154,9 @@ class RecordStore:
         self._learned.add(tag_id)
         resolved: list[tuple[int, int]] = []
         queue = [tag_id]
+        # Zigzag decoding is a worklist fixpoint: each newly learned tag can
+        # unlock more records, so iterations are inherently ordered.
+        # repro: allow-vectorization-antipattern -- worklist fixpoint
         while queue:
             current = queue.pop()
             for record in self._by_tag.pop(current, []):

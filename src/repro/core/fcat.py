@@ -156,6 +156,10 @@ class _FcatSession:
         self.name = name
 
     def run(self) -> ReadingResult:
+        # The frame cascade sizes each frame from the previous frame's
+        # outcome (paper Sec. IV): serial by protocol design; batching
+        # happens across sessions, not within one.
+        # repro: allow-vectorization-antipattern -- serial by protocol design
         while True:
             empty_slots_in_frame = self._run_frame()
             if empty_slots_in_frame == self.config.frame_size:

@@ -128,6 +128,10 @@ class Scat(TagReadingProtocol):
                 obs.emit("anc_resolution", protocol=self.name,
                          slot_index=slot, resolved=len(resolved))
 
+        # SCAT's slot walk feeds collision outcomes back into the next
+        # slot's split decision: serial by protocol design; batching
+        # happens across sessions, not within one.
+        # repro: allow-vectorization-antipattern -- serial by protocol design
         while True:
             if slot_index >= max_slots:
                 raise RuntimeError(

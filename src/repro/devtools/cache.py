@@ -30,7 +30,9 @@ from repro.devtools.index import ModuleIndex
 #: Bump when the entry layout (or anything it captures) changes shape.
 #: 3: def-use records, global access summaries and shape contracts joined
 #: the per-module index.
-CACHE_SCHEMA = 3
+#: 4: loop-carried dependence summaries, local effect facts, argument
+#: roots and class bases joined the per-module index.
+CACHE_SCHEMA = 4
 
 DEFAULT_CACHE_NAME = ".repro-lint-cache.json"
 

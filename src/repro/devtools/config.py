@@ -168,5 +168,25 @@ class LintConfig:
     #: Directories whose array code is shape/dtype checked.
     shape_dirs: tuple[str, ...] = ("phy", "core", "sim")
 
+    # --- R13: vectorization antipatterns ----------------------------------
+    #: Directories whose hot loops are checked (the batching candidates).
+    vectorization_dirs: tuple[str, ...] = ("sim", "core", "phy")
+    #: BENCH cell entry points (``module.dotted:qualname``): a loop is
+    #: "hot" when its function is call-graph reachable from one of these.
+    #: run_chunk is its own root because the pool passes it as a value;
+    #: run_many is the public top-level batch API (exported from
+    #: ``repro`` itself) that outside callers drive directly.
+    hotspot_entry_points: tuple[str, ...] = (
+        "repro.experiments.runner:run_cell",
+        "repro.experiments.runner:sweep",
+        "repro.experiments.executor:run_chunk",
+        "repro.sim.base:run_many",
+    )
+
+    # --- R15: kernel-equivalence registry ---------------------------------
+    #: Name markers identifying vectorized kernels: a leading-underscore-
+    #: free marker ending in ``_`` is a prefix, otherwise a suffix.
+    kernel_name_markers: tuple[str, ...] = ("batched_", "_kernel")
+
 
 DEFAULT_CONFIG = LintConfig()

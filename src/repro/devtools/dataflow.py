@@ -167,7 +167,11 @@ class _CFGBuilder:
         self._add(node)
         exit_block = self.cfg.new_block()
         body_entry = self._start_block(header.id)
-        self._edge(header.id, exit_block.id)
+        if not node.orelse:
+            # With an ``else`` clause the *only* normal exit runs through
+            # it (header -> else -> exit); ``break`` still edges straight
+            # to the exit block, correctly bypassing the else body.
+            self._edge(header.id, exit_block.id)
         self.loops.append((header.id, exit_block.id))
         self.current = body_entry
         self._body(node.body)
@@ -293,13 +297,62 @@ def stmt_use_exprs(node: ast.stmt) -> list[ast.expr]:
             if isinstance(child, ast.expr)]
 
 
+_COMP_NODES = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+def _comp_bound_names(node: ast.expr) -> set[str]:
+    """Names bound by a comprehension's own generators."""
+    bound: set[str] = set()
+    for gen in node.generators:
+        bound.update(_target_names(gen.target))
+    return bound
+
+
+def _expr_load_nodes(node: ast.expr, bound: set[str],
+                     out: list[ast.Name]) -> None:
+    """Collect Load-context Names, honouring comprehension scoping.
+
+    A comprehension's targets are local to the comprehension: only the
+    *first* iterable evaluates in the enclosing scope, everything else
+    (element, conditions, later iterables) sees the targets.  Names bound
+    there are therefore not uses of same-named outer variables.
+    """
+    if isinstance(node, ast.Name):
+        if isinstance(node.ctx, ast.Load) and node.id not in bound:
+            out.append(node)
+        return
+    if isinstance(node, _COMP_NODES):
+        inner = bound | _comp_bound_names(node)
+        first = node.generators[0]
+        _expr_load_nodes(first.iter, bound, out)
+        for cond in first.ifs:
+            _expr_load_nodes(cond, inner, out)
+        for gen in node.generators[1:]:
+            _expr_load_nodes(gen.iter, inner, out)
+            for cond in gen.ifs:
+                _expr_load_nodes(cond, inner, out)
+        parts = (node.key, node.value) if isinstance(node, ast.DictComp) \
+            else (node.elt,)
+        for part in parts:
+            _expr_load_nodes(part, inner, out)
+        return
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, ast.expr):
+            _expr_load_nodes(child, bound, out)
+        elif isinstance(child, ast.keyword):
+            _expr_load_nodes(child.value, bound, out)
+        elif isinstance(child, ast.arguments):  # lambda defaults
+            for default in [*child.defaults,
+                            *(d for d in child.kw_defaults if d)]:
+                _expr_load_nodes(default, bound, out)
+
+
 def stmt_uses(node: ast.stmt) -> list[str]:
     """Names this CFG statement reads (header-only for compound stmts)."""
-    uses = []
+    loads: list[ast.Name] = []
     for expr in stmt_use_exprs(node):
-        for sub in ast.walk(expr):
-            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
-                uses.append(sub.id)
+        _expr_load_nodes(expr, set(), loads)
+    uses = [load.id for load in loads]
     if isinstance(node, ast.AugAssign):
         uses.extend(_target_names(node.target))
     return uses
@@ -391,6 +444,47 @@ def _join(envs: Sequence[dict[str, frozenset[int]]]
     return joined
 
 
+def comprehension_def_uses(node: ast.stmt) -> list[DefUse]:
+    """Def-use records for names bound only inside comprehensions.
+
+    Comprehension targets never escape to the enclosing function scope,
+    so the CFG-level analysis cannot see them; each target still gets a
+    :class:`DefUse` record whose definition site is the generator target
+    and whose uses are the Load occurrences in the parts it scopes over
+    (its conditions, later generators, and the element expression).
+    """
+    records: list[DefUse] = []
+    for expr in stmt_use_exprs(node):
+        for sub in ast.walk(expr):
+            if isinstance(sub, _COMP_NODES):
+                records.extend(_comp_records(sub))
+    return records
+
+
+def _comp_records(comp: ast.expr) -> list[DefUse]:
+    records: list[DefUse] = []
+    for index, gen in enumerate(comp.generators):
+        scoped: list[ast.expr] = list(gen.ifs)
+        for later in comp.generators[index + 1:]:
+            scoped.append(later.iter)
+            scoped.extend(later.ifs)
+        if isinstance(comp, ast.DictComp):
+            scoped.extend((comp.key, comp.value))
+        else:
+            scoped.append(comp.elt)
+        loads: list[ast.Name] = []
+        for part in scoped:
+            # bound=set(): a nested comprehension re-shadows its own
+            # targets inside the collector, so shadowed loads drop out.
+            _expr_load_nodes(part, set(), loads)
+        for name in sorted(set(_target_names(gen.target))):
+            records.append(DefUse(
+                name=name, def_line=gen.target.lineno,
+                use_lines=tuple(sorted({load.lineno for load in loads
+                                        if load.id == name}))))
+    return records
+
+
 def def_use_records(func: ast.FunctionDef | ast.AsyncFunctionDef
                     ) -> list[DefUse]:
     """Def-use chains of one function, in (def line, name) order.
@@ -416,6 +510,8 @@ def def_use_records(func: ast.FunctionDef | ast.AsyncFunctionDef
     records = [DefUse(name=name, def_line=line,
                       use_lines=tuple(sorted(lines)))
                for (name, line), lines in uses.items()]
+    for node in cfg.stmts:
+        records.extend(comprehension_def_uses(node))
     return sorted(records, key=lambda r: (r.def_line, r.name))
 
 

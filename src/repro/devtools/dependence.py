@@ -1,0 +1,409 @@
+"""Loop-carried dependence analysis for vectorization readiness.
+
+The ROADMAP's batched-kernel rewrite needs to know, per loop, whether the
+iterations are independent (safe to vectorize), fold into an accumulator
+(a reduction, vectorizable with ``np.sum``-style primitives), or carry
+arbitrary state across iterations (must stay serial or be restructured).
+:func:`analyze_loops` classifies every ``for``/``while`` loop of one
+function using the dataflow layer's CFG and reaching definitions:
+
+* The loop **body** is analyzed as its own CFG with every name treated as
+  a synthetic parameter.  A use that the parameter definition still
+  reaches is *upward-exposed*: on iterations after the first it reads the
+  value left by the previous iteration -- a loop-carried dependence.
+* In-place mutations (``acc.append(...)``, ``self.total += ...``,
+  ``buf[i] = ...``) never rebind the name, so they are carried whenever
+  the mutated object flows in from outside the iteration.
+* Carried names whose every write is *reduction-shaped* (``x += e``,
+  ``x = x + e``, ``x = min(x, e)``, accumulating method calls) classify
+  the loop as a reduction; any other carried write makes it serial.
+
+Alongside the classification, :func:`analyze_loops` records the perf
+antipatterns the kernel PR hunts for (Python-level iteration over ndarray
+elements, ``list.append`` feeding ``np.asarray``, scalar ``np.*`` calls,
+array allocation and dtype conversion inside the loop body).  Summaries
+serialize into the pass-1 index (:class:`LoopSummary`) so warm-cache runs
+replay them, and the hotspot report ranks them by call-graph reachability.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.devtools.dataflow import (
+    ReachingDefinitions,
+    _MUTATOR_METHODS,
+    _expr_load_nodes,
+    _target_names,
+    build_cfg,
+    stmt_defs,
+    stmt_uses,
+)
+
+CLASS_VECTORIZABLE = "vectorizable"
+CLASS_REDUCTION = "reduction"
+CLASS_SERIAL = "serial"
+
+#: Mutator methods that only accumulate (order-insensitive growth); every
+#: other in-place mutation is treated as arbitrary serial state.
+_ACCUMULATE_METHODS = {"append", "extend", "add", "update"}
+
+#: Binary ops that shape a reduction (`x = x + e`, `x |= e`, ...).
+_REDUCTION_OPS = (ast.Add, ast.Sub, ast.Mult, ast.BitOr, ast.BitAnd,
+                  ast.BitXor)
+
+#: numpy call tails that allocate/construct arrays.
+_NP_CONSTRUCTORS = {"array", "asarray", "ascontiguousarray", "zeros",
+                    "ones", "empty", "full", "zeros_like", "ones_like",
+                    "empty_like", "full_like", "arange", "linspace",
+                    "eye", "concatenate", "stack", "column_stack",
+                    "vstack", "hstack"}
+
+#: numpy call tails that combine a Python-built list into an array (the
+#: sink half of the append-then-asarray antipattern).
+_NP_GATHERERS = {"array", "asarray", "stack", "concatenate", "column_stack",
+                 "vstack", "hstack"}
+
+ANTI_LOOP_OVER_NDARRAY = "loop-over-ndarray"
+ANTI_APPEND_INTO_ARRAY = "append-into-array"
+ANTI_SCALAR_NP_CALL = "scalar-np-call"
+ANTI_ALLOC_IN_LOOP = "alloc-in-loop"
+ANTI_ASTYPE_IN_LOOP = "astype-in-loop"
+
+
+@dataclass(frozen=True)
+class LoopSummary:
+    """One loop's dependence classification, serialized into the index."""
+
+    lineno: int
+    kind: str                      # "for" | "while"
+    classification: str            # vectorizable | reduction | serial
+    carried: tuple[str, ...]       # names carried across iterations
+    antipatterns: tuple[str, ...]  # ANTI_* labels, sorted
+    n_calls: int                   # call sites inside the loop (weight)
+    end_lineno: int = 0            # last body line (hotspot call matching)
+
+    def to_list(self) -> list:
+        return [self.lineno, self.kind, self.classification,
+                list(self.carried), list(self.antipatterns), self.n_calls,
+                self.end_lineno]
+
+    @classmethod
+    def from_list(cls, data: Sequence) -> "LoopSummary":
+        return cls(lineno=data[0], kind=data[1], classification=data[2],
+                   carried=tuple(data[3]), antipatterns=tuple(data[4]),
+                   n_calls=data[5], end_lineno=data[6])
+
+
+def analyze_loops(func: ast.FunctionDef | ast.AsyncFunctionDef,
+                  numpy_names: frozenset[str] = frozenset()
+                  ) -> list[LoopSummary]:
+    """Classify every loop of ``func`` (nested loops included).
+
+    ``numpy_names`` is the module's set of local names bound to the numpy
+    module (import aliases), used by the antipattern detectors.
+    """
+    ndarray_locals = _ndarray_locals(func, numpy_names)
+    gathered = _gathered_names(func, numpy_names)
+    summaries = [_summarize(loop, numpy_names, ndarray_locals, gathered)
+                 for loop in _loops_of(func)]
+    return sorted(summaries, key=lambda s: s.lineno)
+
+
+def _loops_of(func: ast.AST) -> Iterator[ast.For | ast.While]:
+    for node in ast.walk(func):
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            yield node
+
+
+# ---------------------------------------------------------------------------
+# carried-name detection
+
+def _body_names(body: Sequence[ast.stmt]) -> set[str]:
+    """Every name mentioned anywhere in the loop body."""
+    names: set[str] = set()
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+    return names
+
+
+def _mutations(body: Sequence[ast.stmt],
+               targets: set[str]) -> list[tuple[str, ast.stmt, str]]:
+    """(root name, enclosing stmt, how) for in-place mutations in ``body``.
+
+    ``how`` is ``"accumulate"`` for order-insensitive growth (append-like
+    calls, ``x.attr += <reduction op>``) and ``"state"`` for everything
+    else (pops, arbitrary attribute stores).  A subscript store indexed
+    by a loop target (``out[i] = ...``) writes a distinct element each
+    iteration -- an independent scatter, not a mutation at all.
+    """
+    out: list[tuple[str, ast.stmt, str]] = []
+    for stmt in body:
+        aug_targets: set[int] = set()
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _MUTATOR_METHODS:
+                root = _root_name(node.func.value)
+                if root is not None:
+                    how = "accumulate" \
+                        if node.func.attr in _ACCUMULATE_METHODS else "state"
+                    out.append((root, stmt, how))
+            elif isinstance(node, ast.AugAssign) \
+                    and isinstance(node.target, (ast.Attribute,
+                                                 ast.Subscript)):
+                aug_targets.add(id(node.target))
+                root = _root_name(node.target)
+                if root is not None:
+                    how = "accumulate" \
+                        if isinstance(node.op, _REDUCTION_OPS) else "state"
+                    out.append((root, stmt, how))
+            elif isinstance(node, (ast.Attribute, ast.Subscript)) \
+                    and isinstance(node.ctx, (ast.Store, ast.Del)) \
+                    and id(node) not in aug_targets:
+                if isinstance(node, ast.Subscript) \
+                        and isinstance(node.ctx, ast.Store) \
+                        and _indexed_by(node, targets):
+                    continue  # independent scatter store
+                root = _root_name(node)
+                if root is not None:
+                    out.append((root, stmt, "state"))
+    return out
+
+
+def _indexed_by(node: ast.Subscript, targets: set[str]) -> bool:
+    for sub in ast.walk(node.slice):
+        if isinstance(sub, ast.Name) and sub.id in targets:
+            return True
+    return False
+
+
+def _root_name(node: ast.expr) -> str | None:
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _reduction_shaped(stmt: ast.stmt, name: str) -> bool:
+    """Does this def of ``name`` fold the old value with a reduction op?"""
+    if isinstance(stmt, ast.AugAssign):
+        return isinstance(stmt.op, _REDUCTION_OPS)
+    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+        value = stmt.value
+        if isinstance(value, ast.BinOp) \
+                and isinstance(value.op, _REDUCTION_OPS):
+            return any(isinstance(sub, ast.Name) and sub.id == name
+                       for sub in ast.walk(value))
+        if isinstance(value, ast.Call) \
+                and isinstance(value.func, ast.Name) \
+                and value.func.id in ("min", "max"):
+            return any(isinstance(arg, ast.Name) and arg.id == name
+                       for arg in value.args)
+    return False
+
+
+def _summarize(loop: ast.For | ast.While,
+               numpy_names: frozenset[str],
+               ndarray_locals: set[str],
+               gathered: set[str]) -> LoopSummary:
+    body = list(loop.body)
+    is_for = isinstance(loop, (ast.For, ast.AsyncFor))
+    targets = set(_target_names(loop.target)) if is_for else set()
+
+    cfg = build_cfg(body)
+    analysis = ReachingDefinitions(cfg, params=sorted(_body_names(body)))
+    reaching = analysis.defs_reaching()
+
+    def upward_exposed(name: str, stmt: ast.stmt) -> bool:
+        for stmt_id, node in enumerate(cfg.stmts):
+            if node is stmt:
+                env = reaching.get(stmt_id, {})
+                return analysis.PARAM_SITE in env.get(name, frozenset())
+        # Sub-statement of a compound body stmt the CFG flattened away:
+        # conservatively treat as exposed.
+        return True
+
+    # Names rebound somewhere in the body, keyed to their def stmts.
+    bound_defs: dict[str, list[ast.stmt]] = {}
+    for stmt_id, node in enumerate(cfg.stmts):
+        for name in stmt_defs(node):
+            bound_defs.setdefault(name, []).append(node)
+
+    # A rebound name is carried when some body use (or, for while loops,
+    # the header test) still sees the previous iteration's value.
+    exposed_uses = _exposed_use_names(cfg, analysis, reaching)
+    header_uses: set[str] = set()
+    if not is_for:
+        loads: list[ast.Name] = []
+        _expr_load_nodes(loop.test, set(), loads)
+        header_uses = {load.id for load in loads}
+
+    carried: set[str] = set()
+    reduction_ok: dict[str, bool] = {}
+    for name, defs in bound_defs.items():
+        if name in targets:
+            continue
+        if name in exposed_uses or name in header_uses:
+            carried.add(name)
+            reduction_ok[name] = all(_reduction_shaped(d, name)
+                                     for d in defs)
+
+    # Mutated objects are carried when they flow in from outside the
+    # iteration (the mutation site is upward-exposed for the root name).
+    for root, stmt, how in _mutations(body, targets):
+        if root in targets:
+            continue
+        if root in bound_defs and not upward_exposed(root, stmt):
+            continue  # fresh object built earlier in the same iteration
+        carried.add(root)
+        ok = how == "accumulate"
+        reduction_ok[root] = reduction_ok.get(root, True) and ok
+
+    if not carried:
+        classification = CLASS_VECTORIZABLE
+    elif all(reduction_ok[name] for name in carried):
+        classification = CLASS_REDUCTION
+    else:
+        classification = CLASS_SERIAL
+    if not is_for and _constant_test(loop.test):
+        # ``while True:`` -- the exit is decided inside the body, so the
+        # iteration count itself is serially dependent state.
+        classification = CLASS_SERIAL
+
+    antipatterns = _antipatterns(loop, targets, numpy_names,
+                                 ndarray_locals, gathered)
+    n_calls = sum(1 for stmt in body for node in ast.walk(stmt)
+                  if isinstance(node, ast.Call))
+    return LoopSummary(lineno=loop.lineno,
+                       kind="for" if is_for else "while",
+                       classification=classification,
+                       carried=tuple(sorted(carried)),
+                       antipatterns=antipatterns,
+                       n_calls=n_calls,
+                       end_lineno=loop.end_lineno or loop.lineno)
+
+
+def _exposed_use_names(cfg, analysis, reaching) -> set[str]:
+    """Names with a body use that the synthetic entry def still reaches."""
+    exposed: set[str] = set()
+    for stmt_id, node in enumerate(cfg.stmts):
+        env = reaching.get(stmt_id, {})
+        for name in stmt_uses(node):
+            if analysis.PARAM_SITE in env.get(name, frozenset()):
+                exposed.add(name)
+    return exposed
+
+
+def _constant_test(test: ast.expr) -> bool:
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+# ---------------------------------------------------------------------------
+# perf antipatterns
+
+def _np_call_tail(node: ast.expr,
+                  numpy_names: frozenset[str]) -> str | None:
+    """``np.<tail>(...)`` call tail, if the root is a numpy alias."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        root = _root_name(node.func.value)
+        if root is not None and root in numpy_names:
+            return node.func.attr
+    return None
+
+
+def _ndarray_locals(func: ast.AST,
+                    numpy_names: frozenset[str]) -> set[str]:
+    """Names assigned from an array constructor anywhere in ``func``."""
+    out: set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        is_array = _np_call_tail(value, numpy_names) in _NP_CONSTRUCTORS
+        if not is_array and isinstance(value, ast.Call) \
+                and isinstance(value.func, ast.Attribute) \
+                and value.func.attr == "astype":
+            is_array = True
+        if is_array:
+            for target in node.targets:
+                out.update(_target_names(target))
+    return out
+
+
+def _gathered_names(func: ast.AST,
+                    numpy_names: frozenset[str]) -> set[str]:
+    """Names later passed to ``np.asarray``/``np.stack``/... as data."""
+    out: set[str] = set()
+    for node in ast.walk(func):
+        if _np_call_tail(node, numpy_names) in _NP_GATHERERS:
+            for arg in node.args[:1]:
+                root = _root_name(arg)
+                if root is not None:
+                    out.add(root)
+    return out
+
+
+def _antipatterns(loop: ast.For | ast.While,
+                  targets: set[str],
+                  numpy_names: frozenset[str],
+                  ndarray_locals: set[str],
+                  gathered: set[str]) -> tuple[str, ...]:
+    found: set[str] = set()
+    if isinstance(loop, (ast.For, ast.AsyncFor)) \
+            and _iterates_ndarray(loop.iter, numpy_names, ndarray_locals):
+        found.add(ANTI_LOOP_OVER_NDARRAY)
+    scalar_names = targets if ANTI_LOOP_OVER_NDARRAY in found else set()
+    for stmt in loop.body:
+        for node in ast.walk(stmt):
+            tail = _np_call_tail(node, numpy_names)
+            if tail in _NP_CONSTRUCTORS:
+                found.add(ANTI_ALLOC_IN_LOOP)
+            elif tail is not None and node.args \
+                    and all(_scalarish(arg, scalar_names)
+                            for arg in node.args):
+                found.add(ANTI_SCALAR_NP_CALL)
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "astype":
+                found.add(ANTI_ASTYPE_IN_LOOP)
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in ("append", "extend"):
+                root = _root_name(node.func.value)
+                if root is not None and root in gathered:
+                    found.add(ANTI_APPEND_INTO_ARRAY)
+    return tuple(sorted(found))
+
+
+def _iterates_ndarray(iter_expr: ast.expr,
+                      numpy_names: frozenset[str],
+                      ndarray_locals: set[str]) -> bool:
+    for node in ast.walk(iter_expr):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load) \
+                and node.id in ndarray_locals:
+            return True
+        if _np_call_tail(node, numpy_names) in _NP_CONSTRUCTORS:
+            return True
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "astype":
+            return True
+    return False
+
+
+def _scalarish(node: ast.expr, scalar_names: set[str]) -> bool:
+    """Is this argument provably a Python scalar (not an array)?"""
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in scalar_names
+    if isinstance(node, ast.UnaryOp):
+        return _scalarish(node.operand, scalar_names)
+    if isinstance(node, ast.BinOp):
+        return _scalarish(node.left, scalar_names) \
+            and _scalarish(node.right, scalar_names)
+    return False

@@ -1,0 +1,256 @@
+"""Interprocedural purity/effect summaries over the pass-1 call graph.
+
+The batched-kernel rewrite can only hoist a function out of the per-slot
+loop if it is effect-free (or its effects are understood).  This module
+infers, for every indexed function, which of four effects it may have:
+
+* ``reads-rng`` -- draws from a ``numpy.random.Generator`` (directly or
+  through a callee); batching changes draw order, so these need care.
+* ``mutates-args`` -- stores into or calls a mutator method on an object
+  reachable from a parameter (``self`` included).
+* ``mutates-global`` -- rebinds or mutates a module-level name.
+* ``emits-events`` -- emits observability events (``obs.emit`` and
+  friends); harmless for correctness but batching changes event counts.
+
+An empty effect set means **pure**.  :func:`local_effects` computes the
+per-function facts during pass 1 (serialized into the content-hash
+index), and :class:`EffectAnalysis` closes them over the project call
+graph with a bottom-up fixpoint: ``reads-rng``/``mutates-global``/
+``emits-events`` propagate unconditionally caller-ward, while a callee's
+``mutates-args`` only becomes the caller's when the caller passes one of
+its *own* parameters (or a module global, which then surfaces as
+``mutates-global``).
+
+The R14 rule checks these inferred summaries against ``# repro: pure`` /
+``# repro: effects(...)`` contract comments (parsed by
+:func:`parse_effect_contracts`), so a refactor that silently makes a
+batching candidate impure fails the lint gate.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+
+from repro.devtools.dataflow import _MUTATOR_METHODS
+
+EFFECT_READS_RNG = "reads-rng"
+EFFECT_MUTATES_ARGS = "mutates-args"
+EFFECT_MUTATES_GLOBAL = "mutates-global"
+EFFECT_EMITS_EVENTS = "emits-events"
+
+ALL_EFFECTS = frozenset({EFFECT_READS_RNG, EFFECT_MUTATES_ARGS,
+                         EFFECT_MUTATES_GLOBAL, EFFECT_EMITS_EVENTS})
+
+#: Effects that propagate caller-ward unconditionally.
+_TRANSITIVE = frozenset({EFFECT_READS_RNG, EFFECT_MUTATES_GLOBAL,
+                         EFFECT_EMITS_EVENTS})
+
+#: Receiver names that identify the observability layer (``obs.emit``,
+#: ``self.obs.emit``, ``observation.count``, ``_current.events.emit``).
+_EVENT_RECEIVERS = {"obs", "observation", "events", "_current"}
+
+#: Generator-typed annotations marking a parameter as RNG state.
+_RNG_ANNOTATIONS = ("Generator", "SeedSequence")
+
+#: ``# repro: pure`` or ``# repro: effects(a, b)`` on (or directly above)
+#: a ``def`` line.
+_CONTRACT = re.compile(
+    r"#\s*repro:\s*(?:(?P<pure>pure)|effects\((?P<effects>[^)]*)\))\s*$")
+
+
+def iter_comments(source: str) -> list[tuple[int, str]]:
+    """``(1-based line, comment text)`` for every real comment token.
+
+    Tokenizing (instead of line-scanning) keeps contract markers inside
+    string literals and docstrings from parsing as contracts -- the same
+    discipline the engine's suppression scanner follows.
+    """
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        return [(token.start[0], token.string)
+                for token in tokens if token.type == tokenize.COMMENT]
+    except (tokenize.TokenizeError, IndentationError, SyntaxError):
+        return []
+
+
+def parse_effect_contracts(source: str) -> dict[int, frozenset[str]]:
+    """``{1-based line: declared effect set}``; ``pure`` is the empty set.
+
+    Unknown effect names are kept verbatim so the rule can report them.
+    """
+    contracts: dict[int, frozenset[str]] = {}
+    for lineno, line in iter_comments(source):
+        match = _CONTRACT.search(line)
+        if match is None:
+            continue
+        if match.group("pure"):
+            contracts[lineno] = frozenset()
+        else:
+            contracts[lineno] = frozenset(
+                part.strip() for part in match.group("effects").split(",")
+                if part.strip())
+    return contracts
+
+
+def local_effects(func: ast.FunctionDef | ast.AsyncFunctionDef,
+                  module_globals: set[str]) -> frozenset[str]:
+    """Effects evident from this function's own body (callees excluded).
+
+    ``module_globals`` is the module's set of assigned-at-module-scope
+    names, matching :func:`repro.devtools.dataflow.global_access`.
+    """
+    from repro.devtools.dataflow import global_access
+
+    effects: set[str] = set()
+    params = _param_names(func)
+    rng_params = _rng_params(func)
+
+    _, writes = global_access(func, module_globals)
+    if writes:
+        effects.add(EFFECT_MUTATES_GLOBAL)
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            parts = _dotted_parts(node.func)
+            if parts:
+                if any(part == "rng" or part in rng_params
+                       for part in parts[:-1]):
+                    effects.add(EFFECT_READS_RNG)
+                if _is_event_call(parts):
+                    effects.add(EFFECT_EMITS_EVENTS)
+            if isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _MUTATOR_METHODS:
+                root = _root_name(node.func.value)
+                if root in params:
+                    effects.add(EFFECT_MUTATES_ARGS)
+        elif isinstance(node, (ast.Attribute, ast.Subscript)) \
+                and isinstance(node.ctx, (ast.Store, ast.Del)):
+            root = _root_name(node)
+            if root in params:
+                effects.add(EFFECT_MUTATES_ARGS)
+    return frozenset(effects)
+
+
+def _param_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    names = {arg.arg for arg in [*func.args.posonlyargs, *func.args.args,
+                                 *func.args.kwonlyargs]}
+    for extra in (func.args.vararg, func.args.kwarg):
+        if extra is not None:
+            names.add(extra.arg)
+    return names
+
+
+def _rng_params(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    out: set[str] = set()
+    for arg in [*func.args.posonlyargs, *func.args.args,
+                *func.args.kwonlyargs]:
+        annotation = ast.unparse(arg.annotation) \
+            if arg.annotation is not None else ""
+        if any(marker in annotation for marker in _RNG_ANNOTATIONS):
+            out.add(arg.arg)
+    return out
+
+
+def _is_event_call(parts: tuple[str, ...]) -> bool:
+    tail = parts[-1]
+    receivers = set(parts[:-1])
+    if tail in ("emit", "observe_value", "set_gauge"):
+        # Bare one-liners (``emit(...)``) or any obs-layer receiver.
+        return not receivers or bool(receivers & _EVENT_RECEIVERS)
+    if tail == "count":
+        # ``obs.count(...)`` only -- str.count/list.count are pure.
+        return bool(receivers & _EVENT_RECEIVERS)
+    return False
+
+
+def _dotted_parts(node: ast.expr) -> tuple[str, ...]:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    if isinstance(node, ast.Call):
+        inner = _dotted_parts(node.func)
+        return inner + tuple(reversed(parts)) if inner else ()
+    return ()
+
+
+def _root_name(node: ast.expr) -> str | None:
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+class EffectAnalysis:
+    """Bottom-up effect propagation over a :class:`ProjectIndex`.
+
+    ``summaries`` maps every indexed function path
+    (``"repro.core.fcat:_FcatSession.run"``) to its closed effect set; an
+    empty set means the function is pure.  Coverage is total by
+    construction -- there is no "unknown" verdict; unresolvable callees
+    (numpy, stdlib) are assumed pure, which is the direction the R14
+    contract check needs (a declared-pure function never *hides* an
+    effect behind an external call).
+    """
+
+    def __init__(self, index) -> None:
+        self.index = index
+        self.summaries: dict[str, frozenset[str]] = {}
+        self._solve()
+
+    def summary(self, path: str) -> frozenset[str]:
+        return self.summaries.get(path, frozenset())
+
+    def is_pure(self, path: str) -> bool:
+        return not self.summaries.get(path, frozenset())
+
+    def _solve(self) -> None:
+        current: dict[str, set[str]] = {}
+        for module, info in self.index.all_functions():
+            current[f"{module.dotted}:{info.qualname}"] = \
+                set(info.effects_local)
+        changed = True
+        while changed:
+            changed = False
+            for module, info in self.index.all_functions():
+                path = f"{module.dotted}:{info.qualname}"
+                effects = current[path]
+                params = {p.name for p in info.params}
+                if info.is_method:
+                    params |= {"self", "cls"}
+                for call in info.calls:
+                    for callee in self.index.resolve_call(
+                            module, info, call):
+                        inherited = current.get(callee.path, set()) \
+                            & _TRANSITIVE
+                        if EFFECT_MUTATES_ARGS in current.get(
+                                callee.path, set()):
+                            inherited |= self._escalate_mutation(
+                                module, call, params)
+                        if not inherited <= effects:
+                            effects |= inherited
+                            changed = True
+        self.summaries = {path: frozenset(effects)
+                          for path, effects in current.items()}
+
+    def _escalate_mutation(self, module, call, params: set[str]
+                           ) -> set[str]:
+        """What a callee's ``mutates-args`` means for *this* caller."""
+        roots = []
+        head, _, _ = call.raw.rpartition(".")
+        if head:
+            roots.append(head.split(".")[0])
+        roots.extend(arg.root for arg in call.args if arg.root)
+        roots.extend(arg.root for arg in call.kwargs.values() if arg.root)
+        out: set[str] = set()
+        for root in roots:
+            if root in params:
+                out.add(EFFECT_MUTATES_ARGS)
+            elif root in module.global_names:
+                out.add(EFFECT_MUTATES_GLOBAL)
+        return out

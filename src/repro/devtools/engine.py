@@ -58,6 +58,9 @@ from repro.devtools.cache import (
     rule_sources_digest,
 )
 from repro.devtools.config import DEFAULT_CONFIG, LintConfig
+from repro.devtools.dependence import CLASS_REDUCTION, CLASS_SERIAL, \
+    CLASS_VECTORIZABLE
+from repro.devtools.effects import ALL_EFFECTS, EffectAnalysis
 from repro.devtools.findings import Finding, LintReport
 from repro.devtools.index import ProjectIndex, build_module_index
 from repro.devtools.rules import ModuleContext, ProjectContext, Rule, \
@@ -340,7 +343,31 @@ class LintEngine:
             resolved = self.baseline.apply(resolved)
         return LintReport(findings=sorted(resolved),
                           modules_checked=len(project.modules),
-                          rules_run=tuple(rule.name for rule in self.rules))
+                          rules_run=tuple(rule.name for rule in self.rules),
+                          analysis=_analysis_summary(project))
+
+
+def _analysis_summary(project: ProjectContext) -> dict:
+    """Tree-wide dependence/effect tallies for the JSON report.
+
+    ``loops`` counts every indexed loop by classification; ``effects``
+    counts functions by closed interprocedural effect (a function with two
+    effects counts under both; ``pure`` means the empty effect set).
+    """
+    if project.index is None:
+        return {}
+    loops = {CLASS_VECTORIZABLE: 0, CLASS_REDUCTION: 0, CLASS_SERIAL: 0}
+    for _, info in project.index.all_functions():
+        for loop in info.loops:
+            loops[loop.classification] += 1
+    effects = {"pure": 0, **{name: 0 for name in sorted(ALL_EFFECTS)}}
+    analysis = EffectAnalysis(project.index)
+    for summary in analysis.summaries.values():
+        if not summary:
+            effects["pure"] += 1
+        for name in summary:
+            effects[name] += 1
+    return {"loops": loops, "effects": effects}
 
 
 def _pass1_work(item: tuple[str, str, str, str, tuple[str, ...],

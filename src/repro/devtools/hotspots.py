@@ -1,0 +1,117 @@
+"""Hotspot ranking: which loops should the kernel PR vectorize first.
+
+``repro-lint --hotspots`` turns the dependence layer's loop summaries
+into a work-list.  A loop matters when it is *hot* -- its enclosing
+function is call-graph reachable from a BENCH cell entry point
+(``LintConfig.hotspot_entry_points``) -- and its rank grows with how
+much work each iteration hides and how hard batching it will be:
+
+``score = reach * (1 + antipatterns + classification bonus + downstream)``
+
+* ``reach`` counts the entry points that reach the enclosing function,
+* the classification bonus is 2 for serially-dependent loops and 1 for
+  reductions (both need restructuring; already-vectorizable loops only
+  score through their antipatterns),
+* ``downstream`` counts the functions transitively reachable from the
+  call sites inside the loop body -- the per-iteration interpreter work
+  a batched kernel would amortize (``run_many``'s session loop reaches
+  entire protocol sessions, so it outranks a tight arithmetic loop even
+  though its body is four lines).
+
+Only loops in ``vectorization_dirs`` are ranked -- that is the
+sim/core/phy surface the ROADMAP's batching item owns.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.config import LintConfig, path_has_dir
+from repro.devtools.dependence import CLASS_REDUCTION, CLASS_SERIAL
+
+HOTSPOT_SCHEMA = "repro-hotspots/1"
+
+_CLASS_BONUS = {CLASS_SERIAL: 2, CLASS_REDUCTION: 1}
+
+
+def reach_counts(index, config: LintConfig,
+                 graph: dict[str, set[str]] | None = None
+                 ) -> dict[str, int]:
+    """Function path -> number of entry points that reach it."""
+    graph = index.call_graph() if graph is None else graph
+    counts: dict[str, int] = {}
+    for root in config.hotspot_entry_points:
+        for path in _reachable(graph, [root]):
+            counts[path] = counts.get(path, 0) + 1
+    return counts
+
+
+def _reachable(graph: dict[str, set[str]], roots: list[str]) -> set[str]:
+    seen: set[str] = set()
+    frontier = list(roots)
+    while frontier:
+        current = frontier.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        frontier.extend(sorted(graph.get(current, ())))
+    return seen
+
+
+def rank_hotspots(index, config: LintConfig) -> dict:
+    """The ``--hotspots`` payload: hot loops, highest score first."""
+    graph = index.call_graph()
+    reach = reach_counts(index, config, graph)
+    entries: list[dict] = []
+    for module, info in index.all_functions():
+        if not info.loops:
+            continue
+        if not any(path_has_dir(module.relpath, directory)
+                   for directory in config.vectorization_dirs):
+            continue
+        path = f"{module.dotted}:{info.qualname}"
+        weight = reach.get(path, 0)
+        if weight == 0:
+            continue
+        for loop in info.loops:
+            callees = {callee.path
+                       for call in info.calls
+                       if loop.lineno <= call.lineno <= loop.end_lineno
+                       for callee in index.resolve_call(module, info, call)}
+            downstream = len(_reachable(graph, sorted(callees)) - {path})
+            score = weight * (1 + len(loop.antipatterns)
+                              + _CLASS_BONUS.get(loop.classification, 0)
+                              + downstream)
+            entries.append({
+                "path": module.relpath,
+                "line": loop.lineno,
+                "function": path,
+                "kind": loop.kind,
+                "classification": loop.classification,
+                "carried": list(loop.carried),
+                "antipatterns": list(loop.antipatterns),
+                "calls_in_loop": loop.n_calls,
+                "downstream": downstream,
+                "reach": weight,
+                "score": score,
+            })
+    entries.sort(key=lambda e: (-e["score"], e["path"], e["line"]))
+    return {"schema": HOTSPOT_SCHEMA,
+            "entry_points": list(config.hotspot_entry_points),
+            "hotspots": entries}
+
+
+def render_hotspots_text(payload: dict) -> str:
+    """Human-readable ranking, one loop per line."""
+    lines = [f"hotspots ({len(payload['hotspots'])} hot loops, "
+             f"entry points: {', '.join(payload['entry_points'])})"]
+    for rank, entry in enumerate(payload["hotspots"], start=1):
+        notes = [entry["classification"]]
+        if entry["carried"]:
+            notes.append("carried: " + ", ".join(entry["carried"]))
+        if entry["antipatterns"]:
+            notes.append("anti: " + ", ".join(entry["antipatterns"]))
+        notes.append(f"downstream: {entry['downstream']}")
+        lines.append(f"{rank:3d}. [{entry['score']:5d}] "
+                     f"{entry['path']}:{entry['line']} "
+                     f"{entry['function'].split(':', 1)[1]} "
+                     f"({'; '.join(notes)})")
+    return "\n".join(lines)

@@ -25,6 +25,8 @@ from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
 from repro.devtools.dataflow import DefUse, def_use_records, global_access
+from repro.devtools.dependence import LoopSummary, analyze_loops
+from repro.devtools.effects import local_effects
 from repro.devtools.intervals import Interval, interval_of_expr
 from repro.devtools.shapes import ShapeInfo, infer_expr
 from repro.devtools.units import (
@@ -145,11 +147,15 @@ class ArgInfo:
     interval: Interval | None = None
     #: Shape/dtype when the argument is a provably-typed array expression.
     shape: ShapeInfo | None = None
+    #: Leftmost name of the argument expression (``cfg`` for ``cfg.slots``);
+    #: the effect analysis uses it to track which objects escape to callees.
+    root: str | None = None
 
     def to_dict(self) -> dict:
         return {"kind": self.kind,
                 "interval": list(self.interval) if self.interval else None,
-                "shape": self.shape.to_dict() if self.shape else None}
+                "shape": self.shape.to_dict() if self.shape else None,
+                "root": self.root}
 
     @classmethod
     def from_dict(cls, data: dict) -> "ArgInfo":
@@ -157,7 +163,8 @@ class ArgInfo:
         shape = data.get("shape")
         return cls(kind=data.get("kind"),
                    interval=tuple(interval) if interval else None,
-                   shape=ShapeInfo.from_dict(shape) if shape else None)
+                   shape=ShapeInfo.from_dict(shape) if shape else None,
+                   root=data.get("root"))
 
 
 @dataclass
@@ -245,6 +252,11 @@ class FunctionInfo:
     global_writes: list[tuple[str, int, str]] = field(default_factory=list)
     #: ``# repro: shape(...)`` contract on the ``def`` line = return value.
     return_contract: ShapeInfo | None = None
+    #: Loop-carried dependence summaries, one per loop (dependence.py).
+    loops: list[LoopSummary] = field(default_factory=list)
+    #: Locally-evident effects (effects.py); closed over the call graph
+    #: by EffectAnalysis in pass 2.
+    effects_local: tuple[str, ...] = ()
 
     @property
     def name(self) -> str:
@@ -276,7 +288,9 @@ class FunctionInfo:
                 "global_writes": [list(write)
                                   for write in self.global_writes],
                 "return_contract": (self.return_contract.to_dict()
-                                    if self.return_contract else None)}
+                                    if self.return_contract else None),
+                "loops": [loop.to_list() for loop in self.loops],
+                "effects_local": list(self.effects_local)}
 
     @classmethod
     def from_dict(cls, data: dict) -> "FunctionInfo":
@@ -296,7 +310,10 @@ class FunctionInfo:
                    global_writes=[(w[0], w[1], w[2])
                                   for w in data.get("global_writes", [])],
                    return_contract=(ShapeInfo.from_dict(contract)
-                                    if contract else None))
+                                    if contract else None),
+                   loops=[LoopSummary.from_list(loop)
+                          for loop in data.get("loops", [])],
+                   effects_local=tuple(data.get("effects_local", [])))
 
 
 @dataclass
@@ -313,6 +330,8 @@ class ModuleIndex:
     functions: dict[str, FunctionInfo] = field(default_factory=dict)
     #: names of classes defined in this module.
     classes: tuple[str, ...] = ()
+    #: class name -> base-class names as written (virtual dispatch input).
+    class_bases: dict[str, tuple[str, ...]] = field(default_factory=dict)
     #: names assigned at module scope (the fork-safety global universe).
     global_names: tuple[str, ...] = ()
     #: module globals bound to OS handles (open files, locks, queues).
@@ -324,6 +343,8 @@ class ModuleIndex:
                 "functions": {name: info.to_dict()
                               for name, info in self.functions.items()},
                 "classes": list(self.classes),
+                "class_bases": {name: list(bases)
+                                for name, bases in self.class_bases.items()},
                 "global_names": list(self.global_names),
                 "handle_globals": list(self.handle_globals)}
 
@@ -334,6 +355,8 @@ class ModuleIndex:
                    functions={name: FunctionInfo.from_dict(info)
                               for name, info in data["functions"].items()},
                    classes=tuple(data["classes"]),
+                   class_bases={name: tuple(bases) for name, bases
+                                in data.get("class_bases", {}).items()},
                    global_names=tuple(data.get("global_names", [])),
                    handle_globals=tuple(data.get("handle_globals", [])))
 
@@ -460,6 +483,11 @@ class _ModuleIndexer:
     # -- classes -----------------------------------------------------------
 
     def _index_class(self, node: ast.ClassDef) -> None:
+        bases = tuple(name for name in (_dotted(base)
+                                        for base in node.bases)
+                      if name is not None)
+        if bases:
+            self.index.class_bases[node.name] = bases
         fields: list[ParamInfo] = []
         has_init = False
         for item in node.body:
@@ -522,7 +550,10 @@ class _ModuleIndexer:
                 f"{self.index.dotted}.{qualname}"),
             def_uses=def_use_records(node),
             global_reads=reads, global_writes=writes,
-            return_contract=self.contracts.get(node.lineno))
+            return_contract=self.contracts.get(node.lineno),
+            loops=analyze_loops(node, self.numpy_names),
+            effects_local=tuple(sorted(
+                local_effects(node, self.module_globals))))
         param_kinds = {p.name: p.kind for p in params}
         local_env = self._local_env(node)
         shape_env = self._shape_env(node, params)
@@ -634,7 +665,8 @@ class _ModuleIndexer:
                 info.args.append(ArgInfo(
                     kind=kind_of_expr(arg, param_kinds),
                     interval=interval_of_expr(arg, env),
-                    shape=infer_expr(arg, shape_env, self.numpy_names)))
+                    shape=infer_expr(arg, shape_env, self.numpy_names),
+                    root=_arg_root(arg)))
             for keyword in call.keywords:
                 if keyword.arg is None:
                     info.has_star_kw = True
@@ -643,8 +675,16 @@ class _ModuleIndexer:
                     kind=kind_of_expr(keyword.value, param_kinds),
                     interval=interval_of_expr(keyword.value, env),
                     shape=infer_expr(keyword.value, shape_env,
-                                     self.numpy_names))
+                                     self.numpy_names),
+                    root=_arg_root(keyword.value))
             into.calls.append(info)
+
+
+def _arg_root(node: ast.expr) -> str | None:
+    """Leftmost name when the argument passes an object (or part of one)."""
+    while isinstance(node, (ast.Attribute, ast.Subscript, ast.Starred)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
 
 
 def build_module_index(dotted: str, relpath: str, tree: ast.Module,
@@ -685,6 +725,36 @@ class ProjectIndex:
                     continue
                 self._by_method.setdefault(info.name, []).append(
                     Callee(module=module, function=info, name_based=True))
+        self._subclasses = self._build_subclass_map()
+
+    def _build_subclass_map(self) -> dict[str, set[str]]:
+        """Base class dotted path -> transitive subclass dotted paths."""
+        direct: dict[str, set[str]] = {}
+        for module in self.modules.values():
+            for name, bases in module.class_bases.items():
+                child = f"{module.dotted}.{name}"
+                for base in bases:
+                    if base in module.classes:
+                        resolved: str | None = f"{module.dotted}.{base}"
+                    else:
+                        head, *rest = base.split(".")
+                        target = module.aliases.get(head)
+                        resolved = ".".join([target, *rest]) \
+                            if target else None
+                    if resolved is not None:
+                        direct.setdefault(resolved, set()).add(child)
+        closed: dict[str, set[str]] = {}
+        for root in direct:
+            seen: set[str] = set()
+            frontier = list(direct[root])
+            while frontier:
+                child = frontier.pop()
+                if child in seen:
+                    continue
+                seen.add(child)
+                frontier.extend(direct.get(child, ()))
+            closed[root] = seen
+        return closed
 
     # -- lookups -----------------------------------------------------------
 
@@ -759,10 +829,25 @@ class ProjectIndex:
                 class_target = self._annotation_class(
                     module, receiver.annotation)
                 if class_target is not None:
+                    candidates = []
                     method = self._function_at(
                         f"{class_target}.{parts[1]}")
                     if method is not None:
-                        return [method]
+                        candidates.append(method)
+                    # Virtual dispatch: a subclass instance may flow in
+                    # through the base-typed parameter, so every override
+                    # is a candidate too.  They come back name_based so
+                    # single-target value checks keep ignoring them.
+                    for sub in sorted(self._subclasses.get(
+                            class_target, ())):
+                        override = self._function_at(f"{sub}.{parts[1]}")
+                        if override is not None:
+                            candidates.append(Callee(
+                                module=override.module,
+                                function=override.function,
+                                name_based=True))
+                    if candidates:
+                        return candidates
         return self._by_method.get(parts[-1], [])
 
     def _annotation_class(self, module: ModuleIndex,

@@ -114,18 +114,61 @@ def interval_of_expr(node: ast.expr,
         if body is None or orelse is None:
             return None
         return (min(body[0], orelse[0]), max(body[1], orelse[1]))
-    if isinstance(node, ast.Call) and not node.keywords:
+    if isinstance(node, ast.Call):
         if isinstance(node.func, ast.Name):
             name = node.func.id
         elif isinstance(node.func, ast.Attribute) \
-                and node.func.attr == "clip":
-            name = "clip"  # np.clip(x, lo, hi) narrows like the builtin
+                and node.func.attr == "clip" \
+                and isinstance(node.func.value, ast.Name) \
+                and node.func.value.id in ("np", "numpy"):
+            # np.clip(x, lo, hi) narrows like the builtin.  The method form
+            # (arr.clip(lo, hi)) is NOT matched: its first positional is a
+            # bound, not the value, and conflating the two would narrow
+            # unsoundly.
+            name = "clip"
         else:
+            return None
+        if name == "clip":
+            args = _clip_call_args(node, env)
+            return None if args is None else _call_interval(name, args)
+        if node.keywords:
             return None
         return _call_interval(name,
                               [interval_of_expr(arg, env)
                                for arg in node.args])
     return None
+
+
+#: ``np.clip`` bound-keyword spellings (classic ``a_min``/``a_max`` plus
+#: the array-API aliases ``min``/``max``) -> positional slot.
+_CLIP_KEYWORD_SLOTS = {"a_min": 1, "min": 1, "a_max": 2, "max": 2}
+
+
+def _clip_call_args(node: ast.Call, env: dict[str, Interval]
+                    ) -> list[Interval | None] | None:
+    """``[x, lo, hi]`` intervals for a clip call, honouring keyword forms.
+
+    An omitted bound clips nothing on its side and becomes the matching
+    infinite constant; unknown keywords, ``**kwargs`` and double-filled
+    slots bail to None (no narrowing).
+    """
+    if not node.args or len(node.args) + len(node.keywords) > 3:
+        return None
+    slots: list[Interval | None] = [None, None, None]
+    filled = set(range(len(node.args)))
+    for position, arg in enumerate(node.args[:3]):
+        slots[position] = interval_of_expr(arg, env)
+    for keyword in node.keywords:
+        slot = _CLIP_KEYWORD_SLOTS.get(keyword.arg or "")
+        if slot is None or slot in filled:
+            return None
+        filled.add(slot)
+        slots[slot] = interval_of_expr(keyword.value, env)
+    if 1 not in filled:
+        slots[1] = (-_INF, -_INF)
+    if 2 not in filled:
+        slots[2] = (_INF, _INF)
+    return slots
 
 
 def _call_interval(name: str,

@@ -8,7 +8,10 @@ registry) are the whole-program families that run over the pass-1 index;
 R9 (event-schema) pins observability emit sites to the declared schema;
 R10--R12 (rng order-sensitivity, fork-safety, shape/dtype contracts) are
 the data-flow families built on :mod:`repro.devtools.dataflow` and
-:mod:`repro.devtools.shapes`.
+:mod:`repro.devtools.shapes`; R13--R15 (vectorization antipatterns,
+effect contracts, kernel equivalence) are the vectorization-readiness
+families built on :mod:`repro.devtools.dependence` and
+:mod:`repro.devtools.effects`.
 """
 
 from repro.devtools.rules.base import (
@@ -35,6 +38,7 @@ from repro.devtools.rules import protocol as _protocol
 from repro.devtools.rules import reachability as _reachability
 from repro.devtools.rules import shapes as _shapes
 from repro.devtools.rules import units as _units
+from repro.devtools.rules import vectorization as _vectorization
 
 __all__ = [
     "ModuleContext",

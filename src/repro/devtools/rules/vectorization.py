@@ -1,0 +1,289 @@
+"""R13--R15 -- vectorization readiness.
+
+The ROADMAP's batching item will rewrite the per-slot simulation loops
+into array kernels.  These three families keep that rewrite honest before
+and after it happens:
+
+* **R13 (vectorization-antipattern, warning)** -- flags *hot* loops (the
+  enclosing function is call-graph reachable from a BENCH entry point in
+  ``LintConfig.hotspot_entry_points``) inside ``vectorization_dirs`` that
+  are serially dependent or exhibit a numpy antipattern
+  (:mod:`repro.devtools.dependence`).  Warnings, not errors: a serial
+  protocol session is often *correct*, just slow -- the point is that the
+  cost is visible and each instance carries an explicit
+  ``# repro: allow-vectorization-antipattern`` rationale or gets fixed.
+* **R14 (effect-contract, error)** -- checks ``# repro: pure`` /
+  ``# repro: effects(...)`` comments against the interprocedural effect
+  summaries (:mod:`repro.devtools.effects`).  A declared-pure batching
+  candidate that silently grows a side effect fails the gate.
+* **R15 (kernel-equivalence, error)** -- every vectorized kernel (name
+  matches ``kernel_name_markers``, or the function carries a kernel
+  contract) must register its scalar reference and an equivalence test::
+
+      # repro: kernel scalar=repro.phy.anc:decode_residual test=tests/test_kernels.py
+      def batched_decode_residual(...):
+
+  The scalar reference must resolve in the project index and differ from
+  the kernel itself; the test file must exist and mention the kernel by
+  name (file checks are skipped for fixture trees without a repo root,
+  mirroring R8).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.devtools.config import LintConfig, path_has_dir
+from repro.devtools.dependence import CLASS_SERIAL
+from repro.devtools.effects import (
+    ALL_EFFECTS,
+    EffectAnalysis,
+    iter_comments,
+    parse_effect_contracts,
+)
+from repro.devtools.findings import SEVERITY_WARNING, Finding
+from repro.devtools.hotspots import reach_counts
+from repro.devtools.rules.base import ModuleContext, ProjectContext, Rule
+from repro.devtools.rules.registry import register
+
+#: Loose match first, strict parse second: a ``repro: kernel`` comment
+#: that does not carry well-formed ``scalar=``/``test=`` fields is an
+#: error, not an ignored comment.
+_KERNEL_MARKER = re.compile(r"#\s*repro:\s*kernel\b(?P<rest>.*)$")
+_KERNEL_CONTRACT = re.compile(
+    r"^\s+scalar=(?P<scalar>[\w.]+:[\w.]+)\s+test=(?P<test>\S+)\s*$")
+
+
+@register
+class VectorizationAntipattern(Rule):
+    """Hot loops that resist batching must be visible (and justified)."""
+
+    name = "vectorization-antipattern"
+    description = ("hot loops (reachable from a BENCH entry point) in "
+                   "sim/core/phy that are serially dependent or hit a "
+                   "numpy antipattern are flagged as warnings; each "
+                   "instance is either vectorized or carries an explicit "
+                   "allow-comment rationale")
+
+    def check_project(self, project: ProjectContext,
+                      config: LintConfig) -> Iterable[Finding]:
+        index = project.index
+        if index is None:
+            return
+        reach = reach_counts(index, config)
+        for module, info in index.all_functions():
+            if not any(path_has_dir(module.relpath, directory)
+                       for directory in config.vectorization_dirs):
+                continue
+            path = f"{module.dotted}:{info.qualname}"
+            weight = reach.get(path, 0)
+            if weight == 0:
+                continue
+            for loop in info.loops:
+                notes = []
+                if loop.classification == CLASS_SERIAL:
+                    carried = ", ".join(f"`{name}`" for name in loop.carried)
+                    notes.append("is serially dependent"
+                                 + (f" (carried: {carried})" if carried
+                                    else ""))
+                if loop.antipatterns:
+                    notes.append("hits numpy antipatterns: "
+                                 + ", ".join(loop.antipatterns))
+                if not notes:
+                    continue
+                yield self.finding(
+                    module.relpath, loop.lineno,
+                    f"hot {loop.kind} loop in `{info.qualname}` (reached "
+                    f"from {weight} BENCH entry point"
+                    f"{'s' if weight != 1 else ''}) {'; '.join(notes)}; "
+                    "vectorize it or justify with an allow-comment",
+                    severity=SEVERITY_WARNING)
+
+
+@register
+class EffectContract(Rule):
+    """Declared purity/effect contracts must match the inferred summary."""
+
+    name = "effect-contract"
+    description = ("`# repro: pure` / `# repro: effects(...)` comments on "
+                   "function definitions are checked against the "
+                   "interprocedural effect analysis, so a batching "
+                   "candidate cannot silently grow a side effect")
+
+    def check_project(self, project: ProjectContext,
+                      config: LintConfig) -> Iterable[Finding]:
+        del config
+        index = project.index
+        if index is None:
+            return
+        analysis: EffectAnalysis | None = None
+        for module in project.modules:
+            contracts = parse_effect_contracts(module.source)
+            if not contracts:
+                continue
+            if analysis is None:
+                analysis = EffectAnalysis(index)
+            module_index = index.modules.get(module.dotted_name)
+            by_line = {info.lineno: info
+                       for info in module_index.functions.values()} \
+                if module_index is not None else {}
+            for line, declared in sorted(contracts.items()):
+                info = by_line.get(line) or by_line.get(line + 1)
+                if info is None:
+                    yield self.finding(
+                        module, line,
+                        "effect contract is not attached to a function "
+                        "definition (put it on the `def` line or the line "
+                        "directly above)")
+                    continue
+                unknown = declared - ALL_EFFECTS
+                if unknown:
+                    yield self.finding(
+                        module, line,
+                        "effect contract names unknown effect(s) "
+                        + ", ".join(f"`{name}`" for name in sorted(unknown))
+                        + "; valid effects: "
+                        + ", ".join(sorted(ALL_EFFECTS)))
+                    continue
+                assert module_index is not None
+                path = f"{module_index.dotted}:{info.qualname}"
+                inferred = analysis.summary(path)
+                if declared != inferred:
+                    yield self.finding(
+                        module, line,
+                        f"`{info.qualname}` declares "
+                        f"{_describe(declared)} but the effect analysis "
+                        f"infers {_describe(inferred)}; update the "
+                        "contract or remove the effect")
+
+
+def _describe(effects: frozenset[str]) -> str:
+    if not effects:
+        return "`pure`"
+    return "effects(" + ", ".join(sorted(effects)) + ")"
+
+
+@register
+class KernelEquivalence(Rule):
+    """Vectorized kernels must register a scalar reference and a test."""
+
+    name = "kernel-equivalence"
+    description = ("functions named like vectorized kernels (batched_* / "
+                   "*_kernel) must carry a `# repro: kernel scalar=... "
+                   "test=...` registration whose scalar reference resolves "
+                   "in the index and whose equivalence test exists and "
+                   "mentions the kernel")
+
+    def check_project(self, project: ProjectContext,
+                      config: LintConfig) -> Iterable[Finding]:
+        index = project.index
+        if index is None:
+            return
+        for module in project.modules:
+            module_index = index.modules.get(module.dotted_name)
+            if module_index is None:
+                continue
+            contracts, malformed = self._kernel_contracts(module.source)
+            for line, rest in malformed:
+                yield self.finding(
+                    module, line,
+                    f"malformed kernel registration `# repro: kernel"
+                    f"{rest.rstrip()}`; expected `# repro: kernel "
+                    "scalar=<module:qualname> test=<relpath>`")
+            by_line = {info.lineno: info
+                       for info in module_index.functions.values()}
+            claimed: set[int] = set()
+            for line, (scalar, test) in sorted(contracts.items()):
+                info = by_line.get(line) or by_line.get(line + 1)
+                if info is None:
+                    yield self.finding(
+                        module, line,
+                        "kernel registration is not attached to a function "
+                        "definition (put it on the `def` line or the line "
+                        "directly above)")
+                    continue
+                claimed.add(info.lineno)
+                yield from self._check_registration(
+                    project, module, module_index, info, line, scalar, test)
+            for info in module_index.functions.values():
+                if info.lineno in claimed:
+                    continue
+                if self._is_kernel_name(info.qualname,
+                                        config.kernel_name_markers):
+                    yield self.finding(
+                        module, info.lineno,
+                        f"`{info.qualname}` is named like a vectorized "
+                        "kernel but has no scalar-reference registration; "
+                        "add `# repro: kernel scalar=<module:qualname> "
+                        "test=<relpath>` above its def")
+
+    def _check_registration(self, project: ProjectContext,
+                            module: ModuleContext, module_index,
+                            info, line: int, scalar: str,
+                            test: str) -> Iterable[Finding]:
+        kernel_path = f"{module_index.dotted}:{info.qualname}"
+        if scalar == kernel_path:
+            yield self.finding(
+                module, line,
+                f"kernel `{info.qualname}` registers *itself* as the "
+                "scalar reference; point `scalar=` at the un-batched "
+                "implementation it must stay equivalent to")
+        elif self._resolve(project.index, scalar) is None:
+            yield self.finding(
+                module, line,
+                f"kernel `{info.qualname}` registers scalar reference "
+                f"`{scalar}`, which does not resolve to an indexed "
+                "function")
+        if project.repo_root is None:
+            return  # fixture tree: no files to check, mirroring R8
+        test_path = project.repo_root / test
+        if not test_path.is_file():
+            yield self.finding(
+                module, line,
+                f"kernel `{info.qualname}` registers equivalence test "
+                f"`{test}`, which does not exist")
+            return
+        simple = info.qualname.rpartition(".")[2]
+        if simple not in test_path.read_text(encoding="utf-8"):
+            yield self.finding(
+                module, line,
+                f"equivalence test `{test}` never mentions "
+                f"`{simple}`; the registered test must actually "
+                "exercise the kernel")
+
+    @staticmethod
+    def _kernel_contracts(source: str) -> tuple[
+            dict[int, tuple[str, str]], list[tuple[int, str]]]:
+        contracts: dict[int, tuple[str, str]] = {}
+        malformed: list[tuple[int, str]] = []
+        for lineno, text in iter_comments(source):
+            marker = _KERNEL_MARKER.search(text)
+            if marker is None:
+                continue
+            fields = _KERNEL_CONTRACT.match(marker.group("rest"))
+            if fields is None:
+                malformed.append((lineno, marker.group("rest")))
+            else:
+                contracts[lineno] = (fields.group("scalar"),
+                                     fields.group("test"))
+        return contracts, malformed
+
+    @staticmethod
+    def _resolve(index, scalar: str):
+        dotted, _, qualname = scalar.partition(":")
+        module = index.modules.get(dotted)
+        if module is None:
+            return None
+        return module.functions.get(qualname)
+
+    @staticmethod
+    def _is_kernel_name(qualname: str, markers: tuple[str, ...]) -> bool:
+        simple = qualname.rpartition(".")[2]
+        for marker in markers:
+            if marker.endswith("_") and not marker.startswith("_"):
+                if simple.startswith(marker):
+                    return True
+            elif simple.endswith(marker):
+                return True
+        return False

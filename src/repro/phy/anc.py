@@ -39,6 +39,7 @@ class AmplitudeEstimate:
     sigma: float
 
 
+# repro: pure
 def estimate_amplitudes(mixed: np.ndarray) -> AmplitudeEstimate:
     """Estimate the amplitudes of the two constituents of a mixed signal.
 
@@ -63,6 +64,7 @@ def estimate_amplitudes(mixed: np.ndarray) -> AmplitudeEstimate:
                              mu=mu, sigma=sigma)
 
 
+# repro: pure
 def subtract_known(
     mixed: np.ndarray,  # repro: shape(w) dtype=complex128
     known: np.ndarray,  # repro: shape(w) dtype=complex128
@@ -76,12 +78,14 @@ def subtract_known(
     return mixed - known
 
 
+# repro: pure
 def decode_residual(residual: np.ndarray,
                     samples_per_bit: int = SAMPLES_PER_BIT) -> np.ndarray:
     """Demodulate a residual signal into bits (MSK decision on phase slope)."""
     return msk_demodulate(residual, samples_per_bit)
 
 
+# repro: pure
 def resolve_collision(mixed: np.ndarray, known_signals: list[np.ndarray],
                       samples_per_bit: int = SAMPLES_PER_BIT) -> np.ndarray | None:
     """The RFID reader's collision-record resolution primitive.
@@ -101,6 +105,7 @@ def resolve_collision(mixed: np.ndarray, known_signals: list[np.ndarray],
     return None
 
 
+# repro: pure
 def least_squares_cancel(mixed: np.ndarray, known_bits: list[np.ndarray],
                          samples_per_bit: int = SAMPLES_PER_BIT) -> np.ndarray | None:
     """Cancel known constituents when their *waveforms* are not directly known.
@@ -130,6 +135,7 @@ def least_squares_cancel(mixed: np.ndarray, known_bits: list[np.ndarray],
     return None
 
 
+# repro: pure
 def estimate_phase_offset(received: np.ndarray, own_bits: np.ndarray,
                           own_amplitude: float,
                           samples_per_bit: int = SAMPLES_PER_BIT,
@@ -168,6 +174,7 @@ class ExchangeResult:
     bob_ok: bool
 
 
+# repro: pure
 def _decode_peer(received: np.ndarray, own_bits: np.ndarray,
                  samples_per_bit: int) -> np.ndarray:
     """Subtract the node's own contribution from a mix and decode the peer's.
@@ -194,6 +201,7 @@ def _decode_peer(received: np.ndarray, own_bits: np.ndarray,
     return decode_residual(best_residual, samples_per_bit)
 
 
+# repro: effects(reads-rng)
 def alice_bob_exchange(alice_bits: np.ndarray, bob_bits: np.ndarray,
                        rng: np.random.Generator, snr_db: float = 30.0,
                        alice_channel: ChannelGain | None = None,

@@ -10,9 +10,11 @@ from repro.devtools.dataflow import (
     TAG_UNORDERED,
     TagFlow,
     build_cfg,
+    comprehension_def_uses,
     def_use_records,
     global_access,
     seed_param_tags,
+    stmt_uses,
     tags_of_expr,
 )
 
@@ -154,6 +156,122 @@ def test_parameters_defined_at_the_def_line():
     records = {(r.name, r.def_line): r.use_lines
                for r in def_use_records(func)}
     assert records[("n", 1)] == (2,)
+
+
+def test_loop_else_runs_on_normal_exit_only():
+    # The else body is the *only* normal exit: a def inside it must kill
+    # the pre-loop def at the post-loop use.
+    func = _func("""\
+        def f(n):
+            x = 0
+            while n:
+                n = n - 1
+            else:
+                x = 1
+            return x
+        """)
+    records = {(r.name, r.def_line): r.use_lines
+               for r in def_use_records(func)}
+    assert ("x", 2) not in records or records[("x", 2)] == ()
+    assert records[("x", 6)] == (7,)
+
+
+def test_break_bypasses_loop_else():
+    # break edges straight to the loop exit, so the pre-loop def still
+    # reaches the post-loop use alongside the else-body def.
+    func = _func("""\
+        def f(items):
+            x = 0
+            for item in items:
+                if item:
+                    break
+            else:
+                x = 1
+            return x
+        """)
+    records = {(r.name, r.def_line): r.use_lines
+               for r in def_use_records(func)}
+    assert records[("x", 2)] == (8,)
+    assert records[("x", 7)] == (8,)
+
+
+def test_for_else_def_reaches_after_loop():
+    func = _func("""\
+        def f(items):
+            for item in items:
+                pass
+            else:
+                y = 1
+            return y
+        """)
+    records = {(r.name, r.def_line): r.use_lines
+               for r in def_use_records(func)}
+    assert records[("y", 5)] == (6,)
+
+
+# ---------------------------------------------------------------------------
+# comprehension scoping
+
+def test_comp_bound_name_is_not_an_outer_use():
+    # The x bound by the comprehension shadows the outer x everywhere
+    # except the first iterable, so the outer def has no uses here.
+    func = _func("""\
+        def f(items):
+            x = 99
+            values = [x + 1 for x in items]
+            return values
+        """)
+    records = {(r.name, r.def_line): r.use_lines
+               for r in def_use_records(func)}
+    assert ("x", 2) not in records or records[("x", 2)] == ()
+
+
+def test_comp_first_iterable_evaluates_in_outer_scope():
+    # ``[x for x in x]``: the iterable x IS the outer binding.
+    func = _func("""\
+        def f():
+            x = [1, 2]
+            return [x for x in x]
+        """)
+    records = {(r.name, r.def_line): r.use_lines
+               for r in def_use_records(func)}
+    assert records[("x", 2)] == (3,)
+
+
+def test_comp_target_gets_its_own_def_use_record():
+    func = _func("""\
+        def f(items):
+            return [x * x
+                    for x in items
+                    if x > 0]
+        """)
+    records = {(r.name, r.def_line): r.use_lines
+               for r in def_use_records(func)}
+    assert records[("x", 3)] == (2, 4)
+
+
+def test_nested_comprehension_targets_both_recorded():
+    func = _func("""\
+        def f(rows):
+            return [cell for row in rows for cell in row]
+        """)
+    comp_records = comprehension_def_uses(func.body[0])
+    by_name = {r.name: r for r in comp_records}
+    assert by_name["row"].use_lines == (2,)   # later iterable reads it
+    assert by_name["cell"].use_lines == (2,)  # the element reads it
+    # stmt_uses sees only the genuinely outer name.
+    assert stmt_uses(func.body[0]) == ["rows"]
+
+
+def test_dict_comp_key_and_value_are_scoped():
+    func = _func("""\
+        def f(pairs):
+            k = v = None
+            return {k: v for k, v in pairs}
+        """)
+    assert stmt_uses(func.body[1]) == ["pairs"]
+    names = {r.name for r in comprehension_def_uses(func.body[1])}
+    assert names == {"k", "v"}
 
 
 # ---------------------------------------------------------------------------

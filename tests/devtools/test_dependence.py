@@ -1,0 +1,218 @@
+"""Unit tests for the loop-carried dependence classifier behind R13."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.devtools.dependence import (
+    ANTI_ALLOC_IN_LOOP,
+    ANTI_APPEND_INTO_ARRAY,
+    ANTI_ASTYPE_IN_LOOP,
+    ANTI_LOOP_OVER_NDARRAY,
+    ANTI_SCALAR_NP_CALL,
+    CLASS_REDUCTION,
+    CLASS_SERIAL,
+    CLASS_VECTORIZABLE,
+    LoopSummary,
+    analyze_loops,
+)
+
+
+def _loops(source: str) -> list[LoopSummary]:
+    func = ast.parse(textwrap.dedent(source)).body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return analyze_loops(func, frozenset({"np"}))
+
+
+def _one(source: str) -> LoopSummary:
+    loops = _loops(source)
+    assert len(loops) == 1
+    return loops[0]
+
+
+# ---------------------------------------------------------------------------
+# classification
+
+def test_elementwise_loop_is_vectorizable():
+    loop = _one("""
+        def f(xs, sink):
+            for x in xs:
+                y = x * 2
+                sink(y)
+    """)
+    assert loop.classification == CLASS_VECTORIZABLE
+    assert loop.carried == ()
+    assert loop.kind == "for"
+
+
+def test_scatter_store_indexed_by_target_is_independent():
+    loop = _one("""
+        def f(xs, out):
+            for i, x in enumerate(xs):
+                out[i] = x * 2
+    """)
+    assert loop.classification == CLASS_VECTORIZABLE
+
+
+def test_augassign_accumulator_is_a_reduction():
+    loop = _one("""
+        def f(xs):
+            total = 0
+            for x in xs:
+                total += x
+            return total
+    """)
+    assert loop.classification == CLASS_REDUCTION
+    assert loop.carried == ("total",)
+
+
+def test_min_fold_is_a_reduction():
+    loop = _one("""
+        def f(xs):
+            best = 10 ** 9
+            for x in xs:
+                best = min(best, x)
+            return best
+    """)
+    assert loop.classification == CLASS_REDUCTION
+
+
+def test_append_accumulation_is_a_reduction():
+    loop = _one("""
+        def f(xs):
+            acc = []
+            for x in xs:
+                acc.append(x * 2)
+            return acc
+    """)
+    assert loop.classification == CLASS_REDUCTION
+    assert loop.carried == ("acc",)
+
+
+def test_state_threading_is_serial():
+    loop = _one("""
+        def f(n, step):
+            state = 0
+            for _ in range(n):
+                state = step(state)
+            return state
+    """)
+    assert loop.classification == CLASS_SERIAL
+    assert loop.carried == ("state",)
+
+
+def test_while_true_is_serial_even_without_carried_names():
+    loop = _one("""
+        def f(done):
+            while True:
+                if done():
+                    break
+    """)
+    assert loop.kind == "while"
+    assert loop.classification == CLASS_SERIAL
+
+
+def test_while_header_countdown_is_a_reduction():
+    loop = _one("""
+        def f(n, work):
+            while n > 0:
+                work()
+                n = n - 1
+    """)
+    assert loop.classification == CLASS_REDUCTION
+    assert loop.carried == ("n",)
+
+
+def test_object_built_fresh_each_iteration_is_not_carried():
+    loop = _one("""
+        def f(xs, sink):
+            for x in xs:
+                buf = []
+                buf.append(x)
+                sink(buf)
+    """)
+    assert loop.classification == CLASS_VECTORIZABLE
+    assert loop.carried == ()
+
+
+def test_mutating_a_parameter_object_is_carried():
+    loop = _one("""
+        def f(xs, store):
+            for x in xs:
+                store.latest = x
+    """)
+    assert loop.classification == CLASS_SERIAL
+    assert "store" in loop.carried
+
+
+def test_nested_loops_are_each_summarized_in_line_order():
+    loops = _loops("""
+        def f(grid, sink):
+            for row in grid:
+                for cell in row:
+                    sink(cell)
+    """)
+    assert [loop.lineno for loop in loops] == sorted(
+        loop.lineno for loop in loops)
+    assert len(loops) == 2
+    assert all(loop.classification == CLASS_VECTORIZABLE for loop in loops)
+
+
+# ---------------------------------------------------------------------------
+# antipatterns
+
+def test_loop_over_ndarray_and_scalar_np_call():
+    loop = _one("""
+        def f(sink):
+            arr = np.zeros(10)
+            for x in arr:
+                sink(np.sqrt(x))
+    """)
+    assert ANTI_LOOP_OVER_NDARRAY in loop.antipatterns
+    assert ANTI_SCALAR_NP_CALL in loop.antipatterns
+
+
+def test_append_feeding_asarray_is_flagged():
+    loop = _one("""
+        def f(xs):
+            acc = []
+            for x in xs:
+                acc.append(x)
+            return np.asarray(acc)
+    """)
+    assert ANTI_APPEND_INTO_ARRAY in loop.antipatterns
+
+
+def test_alloc_and_astype_inside_the_loop_body():
+    loop = _one("""
+        def f(n, sink):
+            for i in range(n):
+                buf = np.zeros(4)
+                sink(buf.astype(float))
+    """)
+    assert ANTI_ALLOC_IN_LOOP in loop.antipatterns
+    assert ANTI_ASTYPE_IN_LOOP in loop.antipatterns
+
+
+def test_array_valued_np_call_is_not_a_scalar_antipattern():
+    loop = _one("""
+        def f(chunks, sink):
+            for chunk in chunks:
+                sink(np.sqrt(chunk))
+    """)
+    assert loop.antipatterns == ()
+
+
+# ---------------------------------------------------------------------------
+# serialization
+
+def test_loop_summary_roundtrips_through_list_form():
+    loop = _one("""
+        def f(xs):
+            total = 0
+            for x in xs:
+                total += x
+    """)
+    assert LoopSummary.from_list(loop.to_list()) == loop
+    assert loop.end_lineno >= loop.lineno

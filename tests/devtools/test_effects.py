@@ -1,0 +1,189 @@
+"""Unit tests for the purity/effect analysis behind R14."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.devtools import LintEngine
+from repro.devtools.effects import (
+    EFFECT_EMITS_EVENTS,
+    EFFECT_MUTATES_ARGS,
+    EFFECT_MUTATES_GLOBAL,
+    EFFECT_READS_RNG,
+    EffectAnalysis,
+    local_effects,
+    parse_effect_contracts,
+)
+
+
+def _local(source: str, module_globals: set[str] | None = None):
+    func = ast.parse(textwrap.dedent(source)).body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return local_effects(func, module_globals or set())
+
+
+# ---------------------------------------------------------------------------
+# per-function local facts
+
+def test_arithmetic_is_pure():
+    assert _local("""
+        def f(x, y):
+            return x * y + 1
+    """) == frozenset()
+
+
+def test_rng_receiver_reads_rng():
+    assert _local("""
+        def f(rng, n):
+            return rng.integers(0, n)
+    """) == {EFFECT_READS_RNG}
+
+
+def test_generator_annotated_parameter_reads_rng():
+    assert _local("""
+        def f(gen: np.random.Generator):
+            return gen.normal()
+    """) == {EFFECT_READS_RNG}
+
+
+def test_mutator_call_on_parameter_mutates_args():
+    assert _local("""
+        def f(acc, x):
+            acc.append(x)
+    """) == {EFFECT_MUTATES_ARGS}
+
+
+def test_attribute_store_on_self_mutates_args():
+    assert _local("""
+        def update(self, x):
+            self.total = self.total + x
+    """) == {EFFECT_MUTATES_ARGS}
+
+
+def test_subscript_store_on_parameter_mutates_args():
+    assert _local("""
+        def f(buf, i, x):
+            buf[i] = x
+    """) == {EFFECT_MUTATES_ARGS}
+
+
+def test_local_mutation_is_not_an_effect():
+    assert _local("""
+        def f(xs):
+            out = []
+            for x in xs:
+                out.append(x)
+            return out
+    """) == frozenset()
+
+
+def test_global_write_mutates_global():
+    assert _local("""
+        def f():
+            global counter
+            counter += 1
+    """, {"counter"}) == {EFFECT_MUTATES_GLOBAL}
+
+
+def test_obs_emit_emits_events():
+    assert _local("""
+        def f(obs, n):
+            obs.emit("frame", slots=n)
+    """) == {EFFECT_EMITS_EVENTS}
+
+
+def test_str_count_is_not_an_event():
+    assert _local("""
+        def f(text):
+            return text.count("x")
+    """) == frozenset()
+
+
+# ---------------------------------------------------------------------------
+# contract parsing
+
+def test_parse_pure_and_effects_contracts():
+    contracts = parse_effect_contracts(
+        "# repro: pure\n"
+        "def f():\n"
+        "    pass\n"
+        "\n"
+        "def g(rng):  # repro: effects(reads-rng, mutates-args)\n"
+        "    pass\n")
+    assert contracts[1] == frozenset()
+    assert contracts[5] == {"reads-rng", "mutates-args"}
+
+
+def test_contract_marker_inside_a_string_is_ignored():
+    contracts = parse_effect_contracts(
+        'TEXT = "# repro: pure"\n'
+        "DOC = '''\n"
+        "# repro: effects(reads-rng)\n"
+        "'''\n")
+    assert contracts == {}
+
+
+# ---------------------------------------------------------------------------
+# interprocedural closure
+
+def _analysis(tree, source: str) -> EffectAnalysis:
+    tree.write("pkg/mod.py", source)
+    project, _ = LintEngine().build_project([tree.root])
+    return EffectAnalysis(project.index)
+
+
+def test_reads_rng_propagates_to_callers(tree):
+    analysis = _analysis(tree, """
+        def draw(rng):
+            return rng.normal()
+
+        def wraps(rng):
+            return draw(rng)
+
+        def pure_neighbour(x):
+            return x + 1
+    """)
+    assert analysis.summary("pkg.mod:draw") == {EFFECT_READS_RNG}
+    assert analysis.summary("pkg.mod:wraps") == {EFFECT_READS_RNG}
+    assert analysis.is_pure("pkg.mod:pure_neighbour")
+
+
+def test_mutates_args_escalates_per_call_site(tree):
+    analysis = _analysis(tree, """
+        REGISTRY = []
+
+        def push(acc, item):
+            acc.append(item)
+
+        def forwards(acc):
+            push(acc, 1)
+
+        def hits_global():
+            push(REGISTRY, 1)
+
+        def stays_local():
+            scratch = []
+            push(scratch, 1)
+    """)
+    assert analysis.summary("pkg.mod:push") == {EFFECT_MUTATES_ARGS}
+    assert analysis.summary("pkg.mod:forwards") == {EFFECT_MUTATES_ARGS}
+    assert analysis.summary("pkg.mod:hits_global") == {EFFECT_MUTATES_GLOBAL}
+    assert analysis.is_pure("pkg.mod:stays_local")
+
+
+def test_method_receiver_mutation_escalates_through_self(tree):
+    analysis = _analysis(tree, """
+        class Store:
+            def __init__(self):
+                self.items = []
+
+            def add(self, x):
+                self.items.append(x)
+
+            def add_twice(self, x):
+                self.add(x)
+                self.add(x)
+    """)
+    assert EFFECT_MUTATES_ARGS in analysis.summary("pkg.mod:Store.add")
+    assert EFFECT_MUTATES_ARGS in analysis.summary("pkg.mod:Store.add_twice")

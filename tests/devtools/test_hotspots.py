@@ -1,0 +1,132 @@
+"""Tests for the --hotspots ranking (reach x work-per-iteration score)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.devtools import LintEngine
+from repro.devtools.cli import main
+from repro.devtools.config import DEFAULT_CONFIG
+from repro.devtools.hotspots import (
+    HOTSPOT_SCHEMA,
+    rank_hotspots,
+    reach_counts,
+    render_hotspots_text,
+)
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _fixture_payload(tree) -> dict:
+    tree.write("repro/experiments/runner.py", """
+        from repro.sim.base import run_many
+
+        def run_cell():
+            return run_many(3)
+    """)
+    tree.write("repro/sim/base.py", """
+        from repro.core.fcat import cascade
+
+        def run_many(n):
+            results = []
+            for seed in range(n):
+                results.append(cascade(seed))
+            return results
+    """)
+    tree.write("repro/core/fcat.py", """
+        def cascade(seed):
+            total = 0
+            for step in range(4):
+                total += helper_a(step)
+            return total
+
+        def helper_a(x):
+            return helper_b(x) + 1
+
+        def helper_b(x):
+            return x * 2
+
+        def cold(xs):
+            state = 0
+            for x in xs:
+                state = advance(state, x)
+            return state
+
+        def advance(state, x):
+            return state + x
+    """)
+    project, _ = LintEngine().build_project([tree.root])
+    return rank_hotspots(project.index, DEFAULT_CONFIG)
+
+
+def test_downstream_heavy_session_loop_outranks_the_inner_loop(tree):
+    payload = _fixture_payload(tree)
+    assert payload["schema"] == HOTSPOT_SCHEMA
+    ranked = [(e["path"], e["function"]) for e in payload["hotspots"]]
+    assert ranked[0] == ("repro/sim/base.py", "repro.sim.base:run_many")
+    assert ranked[1] == ("repro/core/fcat.py", "repro.core.fcat:cascade")
+    scores = [e["score"] for e in payload["hotspots"]]
+    assert scores == sorted(scores, reverse=True)
+    # The session loop's callee closure (cascade -> helper_a -> helper_b)
+    # is what outweighs the tight arithmetic loop.
+    assert payload["hotspots"][0]["downstream"] == 3
+
+
+def test_unreachable_loops_are_not_ranked(tree):
+    payload = _fixture_payload(tree)
+    functions = {e["function"] for e in payload["hotspots"]}
+    assert "repro.core.fcat:cold" not in functions
+
+
+def test_reach_counts_follow_the_call_graph(tree):
+    tree.write("repro/experiments/runner.py", """
+        from repro.sim.base import run_many
+
+        def run_cell():
+            return run_many(1)
+    """)
+    tree.write("repro/sim/base.py", """
+        def run_many(n):
+            return n
+    """)
+    project, _ = LintEngine().build_project([tree.root])
+    reach = reach_counts(project.index, DEFAULT_CONFIG)
+    # run_many is reached both from run_cell and as its own entry root.
+    assert reach["repro.sim.base:run_many"] == 2
+    assert reach["repro.experiments.runner:run_cell"] == 1
+
+
+def test_text_rendering_lists_rank_score_and_location(tree):
+    payload = _fixture_payload(tree)
+    text = render_hotspots_text(payload)
+    first = text.splitlines()[1]
+    assert first.lstrip().startswith("1.")
+    assert "repro/sim/base.py" in first
+    assert "run_many" in first
+
+
+def test_real_tree_ranks_the_session_loops_in_the_top_five():
+    engine = LintEngine()
+    project, _ = engine.build_project([REPO_SRC])
+    payload = rank_hotspots(project.index, engine.config)
+    top5 = [(entry["path"], entry["function"])
+            for entry in payload["hotspots"][:5]]
+    # The per-session batch loop and the FCAT frame cascade are the
+    # ROADMAP batching item's first targets; the ranking must surface both.
+    assert ("repro/sim/base.py", "repro.sim.base:run_many") in top5
+    assert any(path == "repro/core/fcat.py" for path, _ in top5)
+
+
+def test_cli_hotspots_json_output(capsys):
+    code = main(["--hotspots", "--no-cache", "--format", "json",
+                 str(REPO_SRC)])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == HOTSPOT_SCHEMA
+    assert payload["entry_points"] == list(DEFAULT_CONFIG.hotspot_entry_points)
+    assert payload["hotspots"], "real tree must rank at least one hot loop"
+    top = payload["hotspots"][0]
+    assert {"path", "line", "function", "kind", "classification", "carried",
+            "antipatterns", "calls_in_loop", "downstream", "reach",
+            "score"} <= set(top)

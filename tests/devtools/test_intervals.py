@@ -134,3 +134,35 @@ def test_provably_outside_unit():
     assert provably_outside_unit((-2.0, -0.1))
     assert not provably_outside_unit((0.0, 1.0))
     assert not provably_outside_unit((-1.0, 0.5))  # may be inside
+
+
+# ---------------------------------------------------------------------------
+# np.clip keyword forms (S3)
+
+def test_np_clip_keyword_bounds_narrow():
+    assert _eval("np.clip(unknown, a_min=0.0, a_max=1.0)") == (0.0, 1.0)
+    assert _eval("np.clip(unknown, min=0.0, max=1.0)") == (0.0, 1.0)
+
+
+def test_np_clip_mixed_positional_and_keyword():
+    assert _eval("np.clip(unknown, 0.0, a_max=1.0)") == (0.0, 1.0)
+
+
+def test_np_clip_single_sided_keyword_bound():
+    env = {"x": (-2.0, 3.0)}
+    assert _eval("np.clip(x, a_max=1.0)", env) == (-2.0, 1.0)
+    assert _eval("np.clip(x, a_min=0.0)", env) == (0.0, 3.0)
+
+
+def test_np_clip_unknown_keyword_bails():
+    assert _eval("np.clip(unknown, 0.0, 1.0, out=buf)") is None
+
+
+def test_np_clip_double_filled_slot_bails():
+    assert _eval("np.clip(unknown, 0.0, 1.0, a_max=2.0)") is None
+
+
+def test_method_clip_is_not_misread_as_full_form():
+    # arr.clip(0, 1)'s first positional is a *bound*; conflating it with
+    # the np.clip value slot would narrow unsoundly.
+    assert _eval("arr.clip(0.0, 1.0)") is None

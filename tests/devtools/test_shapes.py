@@ -170,3 +170,57 @@ def test_roundtrip_serialization():
                  ShapeInfo(dims=None, dtype=None),
                  ShapeInfo(dims=(), dtype="float64")):
         assert ShapeInfo.from_dict(info.to_dict()) == info
+
+
+# ---------------------------------------------------------------------------
+# dtype-join widening order (S3: the edges of the rank lattice)
+
+def test_join_widens_bool_through_int_to_float():
+    env = {"flags": ShapeInfo(dims=("n",), dtype="bool"),
+           "counts": ShapeInfo(dims=("n",), dtype="int64"),
+           "weights": ShapeInfo(dims=("n",), dtype="float64")}
+    assert _infer("flags + counts", env).dtype == "int64"
+    assert _infer("counts + weights", env).dtype == "float64"
+    assert _infer("flags + weights", env).dtype == "float64"
+
+
+def test_join_prefers_complex_over_any_real():
+    env = {"iq": ShapeInfo(dims=("w",), dtype="complex128"),
+           "gain": ShapeInfo(dims=("w",), dtype="float32"),
+           "bits": ShapeInfo(dims=("w",), dtype="int64")}
+    assert _infer("iq * gain", env).dtype == "complex128"
+    assert _infer("bits * iq", env).dtype == "complex128"
+
+
+def test_true_division_promotes_integer_join_to_float64():
+    env = {"hits": ShapeInfo(dims=("n",), dtype="int64"),
+           "trials": ShapeInfo(dims=("n",), dtype="int64"),
+           "mask": ShapeInfo(dims=("n",), dtype="bool")}
+    assert _infer("hits / trials", env).dtype == "float64"
+    assert _infer("mask / trials", env).dtype == "float64"
+
+
+def test_float_division_does_not_promote_further():
+    env = {"a": ShapeInfo(dims=("n",), dtype="float32"),
+           "b": ShapeInfo(dims=("n",), dtype="float32")}
+    assert _infer("a / b", env).dtype == "float32"
+
+
+def test_join_with_unknown_dtype_is_unknown_but_keeps_dims():
+    env = {"a": ShapeInfo(dims=("n",), dtype=None),
+           "b": ShapeInfo(dims=("n",), dtype="float64")}
+    info = _infer("a + b", env)
+    assert info is not None
+    assert info.dtype is None
+    assert info.dims == ("n",)
+
+
+def test_dtype_conflict_is_rank_based_not_name_based():
+    # Same rank, different spelling: not a widening.
+    assert dtype_conflict("int64", "uint64") is None
+    assert dtype_conflict("float64", "float") is None
+
+
+def test_dtype_conflict_ignores_names_outside_the_lattice():
+    assert dtype_conflict("quaternion", "float64") is None
+    assert dtype_conflict("float64", "quaternion") is None

@@ -7,8 +7,9 @@ that matches its documentation and tests (R4), units/dimension consistency
 (R5), probability-domain safety (R6), whole-program RNG reachability (R7),
 experiment-registry completeness (R8), observability event-schema
 conformance (R9), RNG draw-order safety (R10), fork-safety of the sweep
-workers (R11) and numpy shape/dtype contracts (R12).  Any new violation
-must either
+workers (R11), numpy shape/dtype contracts (R12), vectorization
+antipatterns on hot loops (R13), purity/effect contracts (R14) and
+kernel-equivalence registration (R15).  Any new violation must either
 be fixed or carry an explicit `# repro: allow-<rule>` suppression with a
 rationale -- the gate runs strict, without the grandfather baseline.
 """
@@ -53,6 +54,9 @@ def test_every_rule_ran():
         "rng-order",
         "fork-safety",
         "shape-contract",
+        "vectorization-antipattern",
+        "effect-contract",
+        "kernel-equivalence",
     }
 
 
@@ -69,6 +73,36 @@ def test_strict_mode_is_clean_and_baseline_is_empty(capsys):
     baseline = json.loads(
         (REPO_ROOT / ".repro-lint-baseline.json").read_text())
     assert baseline["findings"] == []
+
+
+def test_effect_summaries_cover_every_sim_and_core_function():
+    """The effect analysis has no "unknown" verdict: every indexed sim/
+    and core/ function gets a (possibly empty) closed effect set."""
+    from repro.devtools.effects import ALL_EFFECTS, EffectAnalysis
+
+    project, _ = LintEngine().build_project([SRC])
+    analysis = EffectAnalysis(project.index)
+    missing = [
+        f"{module.dotted}:{info.qualname}"
+        for module, info in project.index.all_functions()
+        if module.relpath.startswith(("repro/sim/", "repro/core/"))
+        and f"{module.dotted}:{info.qualname}" not in analysis.summaries]
+    assert missing == []
+    for summary in analysis.summaries.values():
+        assert summary <= ALL_EFFECTS
+
+
+def test_hot_serial_session_loops_carry_explicit_rationales():
+    """The known serial protocol loops are suppressed (with an allow
+    comment), not silently invisible: R13 still *finds* them."""
+    report = LintEngine(select=("vectorization-antipattern",)).lint_paths(
+        [SRC])
+    suppressed = {(finding.path, finding.rule)
+                  for finding in report.suppressed}
+    for path in ("repro/core/fcat.py", "repro/core/scat.py",
+                 "repro/core/collision.py"):
+        assert (path, "vectorization-antipattern") in suppressed, path
+    assert report.unsuppressed == []
 
 
 def test_warm_cache_run_serves_every_module_from_cache(tmp_path):
