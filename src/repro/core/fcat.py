@@ -158,8 +158,13 @@ class _FcatSession:
     def run(self) -> ReadingResult:
         # The frame cascade sizes each frame from the previous frame's
         # outcome (paper Sec. IV): serial by protocol design; batching
-        # happens across sessions, not within one.
-        # repro: allow-vectorization-antipattern -- serial by protocol design
+        # happens across sessions, not within one.  This loop is the
+        # *scalar reference*: ``repro.kernels.fcat`` replays the same
+        # process frame-at-once, and ``engine="kernel"`` routes the hot
+        # BENCH cells there -- what remains here is the bit-pinned
+        # golden path and the ZigZag/trace configurations the kernel
+        # does not implement.
+        # repro: allow-vectorization-antipattern -- scalar reference; hot path lives in repro.kernels.fcat
         while True:
             empty_slots_in_frame = self._run_frame()
             if empty_slots_in_frame == self.config.frame_size:

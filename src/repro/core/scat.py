@@ -130,8 +130,12 @@ class Scat(TagReadingProtocol):
 
         # SCAT's slot walk feeds collision outcomes back into the next
         # slot's split decision: serial by protocol design; batching
-        # happens across sessions, not within one.
-        # repro: allow-vectorization-antipattern -- serial by protocol design
+        # happens across sessions, not within one.  This loop is the
+        # *scalar reference*: ``repro.kernels.scat`` replays the same
+        # belief process with block-at-once draws on draw-free channels,
+        # so what remains hot here is the impaired-channel and
+        # pre-estimation configurations the kernel routes back.
+        # repro: allow-vectorization-antipattern -- scalar reference; hot path lives in repro.kernels.scat
         while True:
             if slot_index >= max_slots:
                 raise RuntimeError(

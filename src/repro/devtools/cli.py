@@ -122,12 +122,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     if options.hotspots:
         import json
 
-        from repro.devtools.hotspots import rank_hotspots, \
-            render_hotspots_text
+        from repro.devtools.hotspots import kernel_scalar_refs, \
+            rank_hotspots, render_hotspots_text
 
         project, _ = engine.build_project(
             [Path(path) for path in options.paths], jobs=options.jobs)
-        payload = rank_hotspots(project.index, engine.config)
+        payload = rank_hotspots(project.index, engine.config,
+                                scalar_refs=kernel_scalar_refs(project.modules))
         if options.format == "json":
             print(json.dumps(payload, indent=2))
         else:

@@ -169,8 +169,10 @@ class LintConfig:
     shape_dirs: tuple[str, ...] = ("phy", "core", "sim")
 
     # --- R13: vectorization antipatterns ----------------------------------
-    #: Directories whose hot loops are checked (the batching candidates).
-    vectorization_dirs: tuple[str, ...] = ("sim", "core", "phy")
+    #: Directories whose hot loops are checked (the batching candidates,
+    #: plus the kernels themselves -- a serial loop sneaking back into a
+    #: batched engine should be just as visible as one in the reference).
+    vectorization_dirs: tuple[str, ...] = ("sim", "core", "phy", "kernels")
     #: BENCH cell entry points (``module.dotted:qualname``): a loop is
     #: "hot" when its function is call-graph reachable from one of these.
     #: run_chunk is its own root because the pool passes it as a value;
@@ -181,6 +183,9 @@ class LintConfig:
         "repro.experiments.runner:sweep",
         "repro.experiments.executor:run_chunk",
         "repro.sim.base:run_many",
+        # The kernel engine's chunk entry: under engine="kernel" this is
+        # what the BENCH cells actually spend their time in.
+        "repro.kernels.engine:run_batch",
     )
 
     # --- R15: kernel-equivalence registry ---------------------------------

@@ -20,14 +20,74 @@ much work each iteration hides and how hard batching it will be:
 
 Only loops in ``vectorization_dirs`` are ranked -- that is the
 sim/core/phy surface the ROADMAP's batching item owns.
+
+A loop leaves the *pending* work-list once a kernel covers it: every
+``# repro: kernel scalar=... test=...`` registration (lint rule R15)
+names the scalar reference its kernel stays equivalent to, and a loop
+whose enclosing function is such a reference -- or a same-module helper
+the reference drives -- is ranked in a separate ``kernelized`` section
+instead of ``hotspots``.  The payload therefore *is* the regression
+gate: CI asserts the pre-kernel top loops stay out of the pending
+top-3, and a kernel losing its registration puts its scalar loop
+straight back.
 """
 
 from __future__ import annotations
 
+import re
+
 from repro.devtools.config import LintConfig, path_has_dir
 from repro.devtools.dependence import CLASS_REDUCTION, CLASS_SERIAL
+from repro.devtools.effects import iter_comments
 
-HOTSPOT_SCHEMA = "repro-hotspots/1"
+HOTSPOT_SCHEMA = "repro-hotspots/2"
+
+#: Loose match first, strict parse second: a ``repro: kernel`` comment
+#: that does not carry well-formed ``scalar=``/``test=`` fields is
+#: malformed (rule R15 reports it), not an ignored comment.
+KERNEL_MARKER = re.compile(r"#\s*repro:\s*kernel\b(?P<rest>.*)$")
+KERNEL_CONTRACT = re.compile(
+    r"^\s+scalar=(?P<scalar>[\w.]+:[\w.]+)\s+test=(?P<test>\S+)\s*$")
+
+
+def parse_kernel_contracts(source: str) -> tuple[
+        dict[int, tuple[str, str]], list[tuple[int, str]]]:
+    """``# repro: kernel`` registrations in one module's source.
+
+    Returns ``(line -> (scalar, test), malformed)``; shared between the
+    R15 rule (which validates) and the hotspot ranking (which uses the
+    scalar references to split off kernelized loops).
+    """
+    contracts: dict[int, tuple[str, str]] = {}
+    malformed: list[tuple[int, str]] = []
+    for lineno, text in iter_comments(source):
+        marker = KERNEL_MARKER.search(text)
+        if marker is None:
+            continue
+        fields = KERNEL_CONTRACT.match(marker.group("rest"))
+        if fields is None:
+            malformed.append((lineno, marker.group("rest")))
+        else:
+            contracts[lineno] = (fields.group("scalar"),
+                                 fields.group("test"))
+    return contracts, malformed
+
+
+def kernel_scalar_refs(sources: "dict[str, str] | list") -> set[str]:
+    """Every scalar reference registered by a kernel contract.
+
+    Accepts either ``{name: source}`` or an iterable of objects with a
+    ``source`` attribute (the lint engine's module contexts).
+    """
+    if isinstance(sources, dict):
+        texts = list(sources.values())
+    else:
+        texts = [module.source for module in sources]
+    refs: set[str] = set()
+    for text in texts:
+        contracts, _ = parse_kernel_contracts(text)
+        refs.update(scalar for scalar, _test in contracts.values())
+    return refs
 
 _CLASS_BONUS = {CLASS_SERIAL: 2, CLASS_REDUCTION: 1}
 
@@ -56,11 +116,37 @@ def _reachable(graph: dict[str, set[str]], roots: list[str]) -> set[str]:
     return seen
 
 
-def rank_hotspots(index, config: LintConfig) -> dict:
-    """The ``--hotspots`` payload: hot loops, highest score first."""
+def _kernelized_functions(graph: dict[str, set[str]],
+                          scalar_refs: set[str]) -> set[str]:
+    """Scalar references plus the same-module helpers they drive.
+
+    Coverage deliberately stops at the module boundary: a kernel
+    registration vouches for the scalar implementation it mirrors, not
+    for everything that implementation happens to call (a shared record
+    store, say, may still have uncovered hot paths of its own).
+    """
+    covered: set[str] = set()
+    for ref in scalar_refs:
+        ref_module = ref.partition(":")[0]
+        covered.update(
+            path for path in _reachable(graph, [ref])
+            if path.partition(":")[0] == ref_module)
+    return covered
+
+
+def rank_hotspots(index, config: LintConfig,
+                  scalar_refs: set[str] | None = None) -> dict:
+    """The ``--hotspots`` payload: pending hot loops, highest score first.
+
+    ``scalar_refs`` are the kernel contracts' registered scalar
+    references (:func:`kernel_scalar_refs`); their loops are reported
+    under ``kernelized`` instead of ``hotspots``.
+    """
     graph = index.call_graph()
     reach = reach_counts(index, config, graph)
+    covered = _kernelized_functions(graph, scalar_refs or set())
     entries: list[dict] = []
+    kernelized: list[dict] = []
     for module, info in index.all_functions():
         if not info.loops:
             continue
@@ -80,7 +166,8 @@ def rank_hotspots(index, config: LintConfig) -> dict:
             score = weight * (1 + len(loop.antipatterns)
                               + _CLASS_BONUS.get(loop.classification, 0)
                               + downstream)
-            entries.append({
+            bucket = kernelized if path in covered else entries
+            bucket.append({
                 "path": module.relpath,
                 "line": loop.lineno,
                 "function": path,
@@ -93,17 +180,31 @@ def rank_hotspots(index, config: LintConfig) -> dict:
                 "reach": weight,
                 "score": score,
             })
-    entries.sort(key=lambda e: (-e["score"], e["path"], e["line"]))
+    order = lambda e: (-e["score"], e["path"], e["line"])  # noqa: E731
+    entries.sort(key=order)
+    kernelized.sort(key=order)
     return {"schema": HOTSPOT_SCHEMA,
             "entry_points": list(config.hotspot_entry_points),
-            "hotspots": entries}
+            "hotspots": entries,
+            "kernelized": kernelized}
 
 
 def render_hotspots_text(payload: dict) -> str:
     """Human-readable ranking, one loop per line."""
-    lines = [f"hotspots ({len(payload['hotspots'])} hot loops, "
+    lines = [f"hotspots ({len(payload['hotspots'])} pending hot loops, "
              f"entry points: {', '.join(payload['entry_points'])})"]
-    for rank, entry in enumerate(payload["hotspots"], start=1):
+    lines.extend(_render_entries(payload["hotspots"]))
+    kernelized = payload.get("kernelized", [])
+    if kernelized:
+        lines.append(f"kernelized ({len(kernelized)} loops covered by a "
+                     "registered kernel)")
+        lines.extend(_render_entries(kernelized))
+    return "\n".join(lines)
+
+
+def _render_entries(entries: list[dict]) -> list[str]:
+    lines = []
+    for rank, entry in enumerate(entries, start=1):
         notes = [entry["classification"]]
         if entry["carried"]:
             notes.append("carried: " + ", ".join(entry["carried"]))
@@ -114,4 +215,4 @@ def render_hotspots_text(payload: dict) -> str:
                      f"{entry['path']}:{entry['line']} "
                      f"{entry['function'].split(':', 1)[1]} "
                      f"({'; '.join(notes)})")
-    return "\n".join(lines)
+    return lines

@@ -31,7 +31,6 @@ and after it happens:
 
 from __future__ import annotations
 
-import re
 from typing import Iterable
 
 from repro.devtools.config import LintConfig, path_has_dir
@@ -39,20 +38,12 @@ from repro.devtools.dependence import CLASS_SERIAL
 from repro.devtools.effects import (
     ALL_EFFECTS,
     EffectAnalysis,
-    iter_comments,
     parse_effect_contracts,
 )
 from repro.devtools.findings import SEVERITY_WARNING, Finding
-from repro.devtools.hotspots import reach_counts
+from repro.devtools.hotspots import parse_kernel_contracts, reach_counts
 from repro.devtools.rules.base import ModuleContext, ProjectContext, Rule
 from repro.devtools.rules.registry import register
-
-#: Loose match first, strict parse second: a ``repro: kernel`` comment
-#: that does not carry well-formed ``scalar=``/``test=`` fields is an
-#: error, not an ignored comment.
-_KERNEL_MARKER = re.compile(r"#\s*repro:\s*kernel\b(?P<rest>.*)$")
-_KERNEL_CONTRACT = re.compile(
-    r"^\s+scalar=(?P<scalar>[\w.]+:[\w.]+)\s+test=(?P<test>\S+)\s*$")
 
 
 @register
@@ -184,7 +175,7 @@ class KernelEquivalence(Rule):
             module_index = index.modules.get(module.dotted_name)
             if module_index is None:
                 continue
-            contracts, malformed = self._kernel_contracts(module.source)
+            contracts, malformed = parse_kernel_contracts(module.source)
             for line, rest in malformed:
                 yield self.finding(
                     module, line,
@@ -251,23 +242,6 @@ class KernelEquivalence(Rule):
                 f"equivalence test `{test}` never mentions "
                 f"`{simple}`; the registered test must actually "
                 "exercise the kernel")
-
-    @staticmethod
-    def _kernel_contracts(source: str) -> tuple[
-            dict[int, tuple[str, str]], list[tuple[int, str]]]:
-        contracts: dict[int, tuple[str, str]] = {}
-        malformed: list[tuple[int, str]] = []
-        for lineno, text in iter_comments(source):
-            marker = _KERNEL_MARKER.search(text)
-            if marker is None:
-                continue
-            fields = _KERNEL_CONTRACT.match(marker.group("rest"))
-            if fields is None:
-                malformed.append((lineno, marker.group("rest")))
-            else:
-                contracts[lineno] = (fields.group("scalar"),
-                                     fields.group("test"))
-        return contracts, malformed
 
     @staticmethod
     def _resolve(index, scalar: str):

@@ -64,11 +64,15 @@ class CellSpec:
     seed: int
     channel: ChannelModel = PERFECT_CHANNEL
     timing: TimingModel = ICODE_TIMING
+    #: ``"scalar"`` (per-slot reference) or ``"kernel"`` (batched
+    #: frame-at-once sessions, kernel-v2 seed semantics).  Part of the
+    #: cache key: the engines are statistically, not bitwise, equivalent.
+    engine: str = "scalar"
 
     def key(self) -> str:
         """The cell's content address (see ``result_cache.cell_key``)."""
         return cell_key(self.protocol, self.n_tags, self.runs, self.seed,
-                        self.channel, self.timing)
+                        self.channel, self.timing, engine=self.engine)
 
 
 @dataclass(frozen=True)
@@ -111,6 +115,11 @@ class _ChunkTask:
     children: tuple[np.random.SeedSequence, ...]
     channel: ChannelModel
     timing: TimingModel
+    #: Which engine computes the runs: ``"scalar"`` loops ``run_single``,
+    #: ``"kernel"`` dispatches the chunk to ``repro.kernels.engine:
+    #: run_batch`` (which itself falls back to ``run_single`` for
+    #: unsupported configurations).
+    engine: str = "scalar"
     #: Collect telemetry inside the worker and ship it back.  Decided in
     #: the parent (workers spawned without the parent's scope still know).
     collect: bool = False
@@ -146,18 +155,25 @@ def run_chunk(task: _ChunkTask) -> ChunkOutcome:
     queue_wait = max(started - task.submitted_unix, 0.0) \
         if task.submitted_unix else 0.0
     observation: Observation | None = None
+    if task.engine == "kernel":
+        from repro.kernels.engine import run_batch
+
+        def compute() -> list[ReadingResult]:
+            return run_batch(task.protocol, task.n_tags, task.children,
+                             channel=task.channel, timing=task.timing)
+    else:
+        def compute() -> list[ReadingResult]:
+            return [run_single(task.protocol, task.n_tags, child,
+                               channel=task.channel, timing=task.timing)
+                    for child in task.children]
     if task.collect:
         # A private collector per chunk, whether this frame runs in a pool
         # worker or in-process: the parent merges outcomes identically
         # either way, so serial and parallel runs emit the same stream.
         with scope.observe() as observation:
-            results = [run_single(task.protocol, task.n_tags, child,
-                                  channel=task.channel, timing=task.timing)
-                       for child in task.children]
+            results = compute()
     else:
-        results = [run_single(task.protocol, task.n_tags, child,
-                              channel=task.channel, timing=task.timing)
-                   for child in task.children]
+        results = compute()
     return ChunkOutcome(results=results, observation=observation,
                         duration_s=time.time() - started,
                         queue_wait_s=queue_wait)
@@ -190,6 +206,7 @@ def _chunk_tasks(specs: Sequence[CellSpec], indices: Sequence[int],
                 children=tuple(children[start:start + chunk_size]),
                 channel=spec.channel,
                 timing=spec.timing,
+                engine=spec.engine,
                 collect=collect,
                 submitted_unix=submitted,
             ))

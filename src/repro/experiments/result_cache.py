@@ -114,18 +114,26 @@ def canonical_fingerprint(value: object) -> object:
 
 
 def cell_key(protocol: TagReadingProtocol, n_tags: int, runs: int, seed: int,
-             channel: ChannelModel, timing: TimingModel) -> str:
-    """The content address of one cell: SHA-256 of its canonical spec."""
-    payload = json.dumps(
-        {
-            "protocol": canonical_fingerprint(protocol),
-            "n_tags": n_tags,
-            "runs": runs,
-            "seed": seed,
-            "channel": canonical_fingerprint(channel),
-            "timing": canonical_fingerprint(timing),
-        },
-        sort_keys=True, separators=(",", ":"))
+             channel: ChannelModel, timing: TimingModel,
+             engine: str = "scalar") -> str:
+    """The content address of one cell: SHA-256 of its canonical spec.
+
+    The engine is part of the address -- scalar and kernel cells follow
+    the same process law but different draw orders, so their aggregates
+    differ bitwise and must never serve each other.  The default scalar
+    engine is omitted from the payload to keep pre-kernel keys stable.
+    """
+    spec = {
+        "protocol": canonical_fingerprint(protocol),
+        "n_tags": n_tags,
+        "runs": runs,
+        "seed": seed,
+        "channel": canonical_fingerprint(channel),
+        "timing": canonical_fingerprint(timing),
+    }
+    if engine != "scalar":
+        spec["engine"] = engine
+    payload = json.dumps(spec, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 

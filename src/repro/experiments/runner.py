@@ -82,12 +82,17 @@ def run_cell(protocol: TagReadingProtocol, n_tags: int, runs: int, seed: int,
              channel: ChannelModel = PERFECT_CHANNEL,
              timing: TimingModel = ICODE_TIMING,
              jobs: int = 1,
-             cache: "ResultCache | None" = None) -> AggregateResult:
+             cache: "ResultCache | None" = None,
+             engine: str = "scalar") -> AggregateResult:
     """Average ``runs`` sessions of one protocol at one population size.
 
     ``jobs`` > 1 fans the runs out across worker processes; ``cache`` serves
     previously computed cells by content-addressed key.  Both are pure
     mechanics: the returned ``AggregateResult`` is identical either way.
+    ``engine="kernel"`` computes the cell with the batched frame-at-once
+    sessions of :mod:`repro.kernels` where supported (kernel-v2 seed
+    semantics: statistically, not bitwise, equivalent to scalar; cached
+    under a distinct key).
     """
     if n_tags < 0:
         raise ValueError("n_tags must be non-negative")
@@ -95,7 +100,7 @@ def run_cell(protocol: TagReadingProtocol, n_tags: int, runs: int, seed: int,
         raise ValueError("runs must be >= 1")
     from repro.experiments.executor import CellSpec, execute_cells
     spec = CellSpec(protocol=protocol, n_tags=n_tags, runs=runs, seed=seed,
-                    channel=channel, timing=timing)
+                    channel=channel, timing=timing, engine=engine)
     return execute_cells([spec], jobs=jobs, cache=cache)[0]
 
 
@@ -104,7 +109,8 @@ def sweep(protocols: list[TagReadingProtocol], n_values: list[int],
           channel: ChannelModel = PERFECT_CHANNEL,
           timing: TimingModel = ICODE_TIMING,
           jobs: int = 1,
-          cache: "ResultCache | None" = None
+          cache: "ResultCache | None" = None,
+          engine: str = "scalar"
           ) -> dict[tuple[str, int], AggregateResult]:
     """Run every (protocol, N) cell; seeds are decorrelated per cell.
 
@@ -129,6 +135,7 @@ def sweep(protocols: list[TagReadingProtocol], n_values: list[int],
                          + SWEEP_ROW_STRIDE * row)
             specs.append(CellSpec(protocol=protocol, n_tags=n_tags,
                                   runs=runs, seed=cell_seed,
-                                  channel=channel, timing=timing))
+                                  channel=channel, timing=timing,
+                                  engine=engine))
     results = execute_cells(specs, jobs=jobs, cache=cache)
     return dict(zip(keys, results))

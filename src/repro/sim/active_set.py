@@ -21,6 +21,12 @@ class ActiveSet:
     def __init__(self, items: Iterable[Hashable] = ()) -> None:
         self._items: list[Hashable] = []
         self._pos: dict[Hashable, int] = {}
+        #: Scratch for the rejection sampler, reused across calls: the
+        #: scalar session loops call ``sample_binomial`` once per slot,
+        #: and allocating a fresh position set per slot was the R13
+        #: allocation antipattern (the kernel engine sidesteps this whole
+        #: class by pre-drawing frames; see ``repro.kernels.frame``).
+        self._scratch: set[int] = set()
         for item in items:
             self.add(item)
 
@@ -78,7 +84,11 @@ class ActiveSet:
         if k > n // 2:
             positions = rng.permutation(n)[:k]
             return [self._items[int(p)] for p in positions]
-        chosen: set[int] = set()
+        # Rejection sampling into the reused scratch set: exactly one
+        # scalar `integers` draw per accepted-or-rejected attempt, the
+        # draw order the golden results pin.
+        chosen = self._scratch
+        chosen.clear()
         while len(chosen) < k:
             chosen.add(int(rng.integers(0, n)))
         return [self._items[p] for p in sorted(chosen)]
@@ -91,6 +101,10 @@ class ActiveSet:
         ``H(ID|i) <= floor(p * 2^l)`` at every tag, but O(k) instead of O(N):
         draw the transmitter count from the binomial, then pick that many
         distinct members.
+
+        This is the scalar engines' per-slot sampler; the kernel engine
+        replaces it wholesale with frame-at-once draws
+        (:func:`repro.kernels.frame.draw_slot_counts`).
         """
         if not 0.0 <= probability <= 1.0:
             raise ValueError(f"probability must be in [0, 1], got {probability}")

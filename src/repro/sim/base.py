@@ -67,16 +67,38 @@ class TagReadingProtocol(ABC):
 def run_many(protocol: TagReadingProtocol, population: TagPopulation,
              runs: int, seed: int,
              channel: ChannelModel = PERFECT_CHANNEL,
-             timing: TimingModel = ICODE_TIMING) -> AggregateResult:
+             timing: TimingModel = ICODE_TIMING,
+             engine: str = "scalar") -> AggregateResult:
     """Average ``runs`` independent sessions (the paper's 100-run averaging).
 
     Each run gets an independent child generator spawned from ``seed`` so the
     whole sweep is reproducible yet runs are uncorrelated.
+
+    ``engine="kernel"`` routes supported (protocol, channel) configurations
+    to the batched frame-at-once sessions of :mod:`repro.kernels` -- same
+    child seeds, kernel-v2 consumption order (statistically, not bitwise,
+    equivalent; see ``docs/performance.md``) -- and falls back to this
+    scalar loop otherwise.
     """
     if runs < 1:
         raise ValueError("runs must be >= 1")
-    results: list[ReadingResult] = []
     seeds = np.random.SeedSequence(seed).spawn(runs)
+    if engine != "scalar":
+        from repro.kernels.engine import batch_read_all, validate_engine
+        validate_engine(engine)
+        rngs = [np.random.default_rng(child) for child in seeds]
+        batched = batch_read_all(protocol, len(population), rngs,
+                                 channel=channel, timing=timing)
+        if batched is not None:
+            for result in batched:
+                if not result.complete and channel is PERFECT_CHANNEL:
+                    raise RuntimeError(
+                        f"{protocol.name} failed to read all tags on a "
+                        f"perfect channel "
+                        f"({result.n_read}/{result.n_tags})")
+                protocol.observe_session(result)
+            return aggregate(batched)
+    results: list[ReadingResult] = []
     for child in seeds:
         rng = np.random.default_rng(child)
         result = protocol.read_all(population, rng, channel=channel,

@@ -10,6 +10,8 @@ from repro.devtools.cli import main
 from repro.devtools.config import DEFAULT_CONFIG
 from repro.devtools.hotspots import (
     HOTSPOT_SCHEMA,
+    kernel_scalar_refs,
+    parse_kernel_contracts,
     rank_hotspots,
     reach_counts,
     render_hotspots_text,
@@ -106,16 +108,55 @@ def test_text_rendering_lists_rank_score_and_location(tree):
     assert "run_many" in first
 
 
-def test_real_tree_ranks_the_session_loops_in_the_top_five():
+def test_real_tree_moves_kernel_covered_session_loops_off_the_worklist():
+    """The hotspots regression gate: the pre-kernel top loops stay covered.
+
+    Before the kernel engine landed, ``run_many``'s session loop and the
+    FCAT frame cascade topped the pending ranking.  Their R15 kernel
+    registrations now move them to the ``kernelized`` section; a kernel
+    losing its registration would put them straight back in the top-3,
+    failing this test (and the CI gate that mirrors it).
+    """
+    engine = LintEngine()
+    project, _ = engine.build_project([REPO_SRC])
+    payload = rank_hotspots(project.index, engine.config,
+                            scalar_refs=kernel_scalar_refs(project.modules))
+    pending = [entry["function"] for entry in payload["hotspots"]]
+    assert "repro.sim.base:run_many" not in pending
+    assert "repro.core.fcat:_FcatSession._run_frame" not in pending
+    assert "repro.core.fcat:_FcatSession.run" not in pending
+    kernelized = {entry["function"] for entry in payload["kernelized"]}
+    assert "repro.sim.base:run_many" in kernelized
+    assert "repro.core.fcat:_FcatSession._run_frame" in kernelized
+    assert "repro.core.scat:Scat.read_all" in kernelized
+    # Coverage stops at the module boundary: the shared record store is
+    # not vouched for by the FCAT registration and stays on the worklist.
+    assert any(f == "repro.core.collision:RecordStore._try_zigzag"
+               for f in pending)
+
+
+def test_kernelized_loops_rejoin_the_worklist_without_scalar_refs():
+    """Without registrations the full pre-kernel ranking comes back."""
     engine = LintEngine()
     project, _ = engine.build_project([REPO_SRC])
     payload = rank_hotspots(project.index, engine.config)
-    top5 = [(entry["path"], entry["function"])
-            for entry in payload["hotspots"][:5]]
-    # The per-session batch loop and the FCAT frame cascade are the
-    # ROADMAP batching item's first targets; the ranking must surface both.
-    assert ("repro/sim/base.py", "repro.sim.base:run_many") in top5
-    assert any(path == "repro/core/fcat.py" for path, _ in top5)
+    top3 = [entry["function"] for entry in payload["hotspots"][:3]]
+    assert "repro.sim.base:run_many" in top3
+    assert payload["kernelized"] == []
+
+
+def test_parse_kernel_contracts_round_trips():
+    source = (
+        "# repro: kernel scalar=repro.core.fcat:_FcatSession.run "
+        "test=tests/kernels/test_fcat_kernel.py\n"
+        "def batched(): ...\n"
+        "# repro: kernel scalar=broken\n")
+    contracts, malformed = parse_kernel_contracts(source)
+    assert contracts == {1: ("repro.core.fcat:_FcatSession.run",
+                             "tests/kernels/test_fcat_kernel.py")}
+    assert malformed == [(3, " scalar=broken")]
+    refs = kernel_scalar_refs({"m": source})
+    assert refs == {"repro.core.fcat:_FcatSession.run"}
 
 
 def test_cli_hotspots_json_output(capsys):
@@ -130,3 +171,7 @@ def test_cli_hotspots_json_output(capsys):
     assert {"path", "line", "function", "kind", "classification", "carried",
             "antipatterns", "calls_in_loop", "downstream", "reach",
             "score"} <= set(top)
+    # The CLI passes the tree's kernel registrations through, so the
+    # covered scalar loops land in the kernelized section.
+    kernelized = {entry["function"] for entry in payload["kernelized"]}
+    assert "repro.sim.base:run_many" in kernelized

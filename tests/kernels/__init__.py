@@ -1,0 +1,1 @@
+"""Kernel/scalar equivalence tests (the R15 kernel registrations' targets)."""

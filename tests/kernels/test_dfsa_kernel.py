@@ -1,0 +1,60 @@
+"""DFSA kernel equivalence: batched_dfsa_sessions is bitwise the scalar.
+
+Registered by the ``# repro: kernel`` contract on
+:func:`repro.kernels.dfsa.batched_dfsa_sessions` (lint rule R15).  On a
+draw-free channel the kernel consumes the generator *identically* to
+``Dfsa.read_all`` (same per-frame ``integers`` call; the channel helpers
+never draw at probability zero), so unlike the FCAT/SCAT kernels the
+contract here is exact equality, not a statistical one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.dfsa import Dfsa
+from repro.kernels.dfsa import _DfsaKernelSession, batched_dfsa_sessions
+from repro.sim.channel import ChannelModel
+from repro.sim.population import TagPopulation
+
+
+@pytest.mark.parametrize("n_tags", [1, 17, 200, 1000])
+def test_kernel_is_bitwise_the_scalar_engine(n_tags):
+    """Same generator state in, identical ReadingResult out."""
+    protocol = Dfsa()
+    population = TagPopulation.random(n_tags, np.random.default_rng(99))
+    for seed in range(10):
+        scalar = protocol.read_all(population, np.random.default_rng(seed))
+        kernel = batched_dfsa_sessions(protocol, n_tags,
+                                       [np.random.default_rng(seed)])[0]
+        assert kernel == scalar
+
+
+def test_fixed_initial_frame_size_matches_too():
+    protocol = Dfsa(initial_frame_size=16)
+    population = TagPopulation.random(300, np.random.default_rng(99))
+    for seed in range(5):
+        scalar = protocol.read_all(population, np.random.default_rng(seed))
+        kernel = batched_dfsa_sessions(protocol, 300,
+                                       [np.random.default_rng(seed)])[0]
+        assert kernel == scalar
+
+
+def test_batch_composition_does_not_change_a_session():
+    protocol = Dfsa()
+    rngs = [np.random.default_rng(seed) for seed in range(8)]
+    together = batched_dfsa_sessions(protocol, 120, rngs)
+    alone = [batched_dfsa_sessions(protocol, 120,
+                                   [np.random.default_rng(seed)])[0]
+             for seed in range(8)]
+    assert together == alone
+    assert len({result.frames for result in together}) > 1
+
+
+def test_noisy_channel_is_rejected():
+    """Per-tag channel draws need scalar order; the engine falls back
+    (tests/kernels/test_engine.py pins that route)."""
+    with pytest.raises(ValueError, match="draw-free"):
+        _DfsaKernelSession("DFSA", Dfsa(), 50, np.random.default_rng(0),
+                           channel=ChannelModel(capture_prob=0.2))

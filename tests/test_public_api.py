@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.inventory",
     "repro.dynamics",
     "repro.experiments",
+    "repro.kernels",
     # Standalone modules registered as public API surfaces (lint rule
     # public-api, LintConfig.api_export_modules).
     "repro.experiments.executor",
