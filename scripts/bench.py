@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Benchmark harness for the simulation engines (writes ``BENCH_5.json``).
+"""Benchmark harness for the simulation engines (writes ``BENCH_6.json``).
 
 Times representative cells (FCAT-2/3/4 and DFSA at N in {500, 5000, 10000})
 through both engines -- the scalar per-slot reference and the
@@ -11,7 +11,7 @@ trajectory of the engines and the executor is pinned across PRs::
 
     PYTHONPATH=src python scripts/bench.py                  # full grid
     PYTHONPATH=src python scripts/bench.py --smoke          # CI-sized grid
-    PYTHONPATH=src python scripts/bench.py --jobs 8 --out BENCH_5.json
+    PYTHONPATH=src python scripts/bench.py --jobs 8 --out BENCH_6.json
 
 Speedup accounting: ``kernel_speedup`` is scalar/kernel per cell, both
 engines timed interleaved in one process (best of ``--repeats`` each) so
@@ -21,17 +21,26 @@ measurement.  ``speedup`` is serial/parallel for the sweep;
 ``best_speedup`` is serial over the fastest non-serial mode (parallel or
 warm cache), which is what a rerun actually experiences.
 
-Schema 3 adds the kernel engine columns (``kernel_s``,
-``kernel_speedup`` and the BENCH_4 yardstick fields) to each cell; the
-schema-2 observability sections (the ``repro.obs`` overhead probe and
-the worker-utilization telemetry) are unchanged.
+Schema 4 adds the ``planner`` section: the same protocol/N roster run
+paired adaptive-vs-fixed (nominal 100 runs, kernel engine).  Each cell
+reports ``run_reduction`` (nominal over adaptively assigned runs) and
+``within_ci``.  The adaptive estimate is a *prefix* of the fixed-budget
+sample (shared seeds), so the exact sampling SD of the adaptive-minus-
+fixed difference is ``s * sqrt(|1/k - 1/R|)`` with ``s`` the fixed
+sample std, ``k`` the adaptive run count and ``R`` the nominal budget;
+``within_ci`` asserts every reported metric's difference lies inside
+the 95% interval that SD implies.  The section also pins
+``planner_jobs_invariant``: adaptive results are bit-identical between
+``jobs=1`` and ``jobs=4``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import platform
+import statistics
 import sys
 import time
 from pathlib import Path
@@ -42,13 +51,33 @@ import numpy as np  # noqa: E402
 
 from repro.core import Fcat  # noqa: E402
 from repro.baselines.dfsa import Dfsa  # noqa: E402
-from repro.experiments.executor import default_jobs  # noqa: E402
+from repro.experiments.executor import (  # noqa: E402
+    CellSpec,
+    default_jobs,
+    execute_run_metrics,
+)
+from repro.experiments.planner import (  # noqa: E402
+    PlannerConfig,
+    plan_cells,
+)
 from repro.experiments.result_cache import ResultCache  # noqa: E402
 from repro.experiments.runner import run_cell, sweep  # noqa: E402
 from repro.obs.scope import observe  # noqa: E402
+from repro.sim.result import aggregate_metrics  # noqa: E402
 
-SCHEMA = "repro-bench/3"
-BENCH_NAME = "BENCH_5"
+SCHEMA = "repro-bench/4"
+BENCH_NAME = "BENCH_6"
+
+#: AggregateResult column -> the per-run RunMetrics field it averages;
+#: the "reported metrics" the planner's within-CI check covers.
+REPORTED_METRICS = {
+    "throughput_mean": "throughput",
+    "empty_mean": "empty_slots",
+    "singleton_mean": "singleton_slots",
+    "collision_mean": "collision_slots",
+    "total_slots_mean": "total_slots",
+    "resolved_mean": "resolved_from_collision",
+}
 
 
 def _bench4_reference() -> dict[tuple[str, int, int], float]:
@@ -247,10 +276,110 @@ def bench_sweep(n_values: list[int], runs: int, seed: int, jobs: int,
     }
 
 
+def bench_planner(n_values: list[int], nominal_runs: int, seed: int,
+                  jobs: int, precision: float, min_runs: int,
+                  batch_runs: int) -> dict:
+    """Paired adaptive-vs-fixed run of the representative roster.
+
+    Both legs use the kernel engine and the same seeds, so the adaptive
+    estimate of each cell is a bit-exact prefix of the fixed-budget
+    sample.  ``within_ci`` checks every reported metric against the 95%
+    interval of the adaptive-minus-fixed difference, whose exact SD is
+    ``s * sqrt(|1/k - 1/R|)`` (see the module docstring); a final pair of
+    untimed legs pins bit-identity between ``jobs=1`` and ``jobs=4``.
+    """
+    z95 = 1.959963984540054  # Phi^-1(0.975)
+    protocols = [Fcat(lam=2), Fcat(lam=3), Fcat(lam=4), Dfsa()]
+    specs = [CellSpec(protocol=protocol, n_tags=n_tags, runs=nominal_runs,
+                      seed=seed + 13 * index, engine="kernel")
+             for index, (protocol, n_tags) in enumerate(
+                 [(protocol, n_tags) for protocol in protocols
+                  for n_tags in n_values])]
+
+    started = time.perf_counter()
+    fixed_batches = execute_run_metrics(specs, jobs=jobs)
+    fixed_s = time.perf_counter() - started
+    fixed = [aggregate_metrics(spec.protocol.name, spec.n_tags, batch.values)
+             for spec, batch in zip(specs, fixed_batches)]
+
+    def config() -> PlannerConfig:
+        return PlannerConfig(precision=precision, min_runs=min_runs,
+                             batch_runs=batch_runs)
+
+    planner = config()
+    started = time.perf_counter()
+    adaptive = plan_cells(specs, planner, jobs=jobs)
+    adaptive_s = time.perf_counter() - started
+
+    serial = plan_cells(specs, config(), jobs=1)
+    fanned = plan_cells(specs, config(), jobs=4)
+    jobs_invariant = serial == fanned == adaptive
+
+    rows = []
+    all_within = True
+    for spec, fixed_cell, adaptive_cell, batch in zip(specs, fixed, adaptive,
+                                                      fixed_batches):
+        assigned = adaptive_cell.runs
+        within = True
+        for column, field in REPORTED_METRICS.items():
+            values = [getattr(value, field) for value in batch.values]
+            std = statistics.stdev(values)
+            half_width = z95 * std * math.sqrt(
+                abs(1.0 / assigned - 1.0 / nominal_runs))
+            fixed_value = getattr(fixed_cell, column)
+            adaptive_value = getattr(adaptive_cell, column)
+            epsilon = 1e-9 * max(1.0, abs(fixed_value))
+            if abs(adaptive_value - fixed_value) > half_width + epsilon:
+                within = False
+        all_within = all_within and within
+        reduction = nominal_runs / assigned
+        rows.append({
+            "protocol": spec.protocol.name,
+            "n_tags": spec.n_tags,
+            "nominal_runs": nominal_runs,
+            "adaptive_runs": assigned,
+            "run_reduction": round(reduction, 3),
+            "within_ci": within,
+            "throughput_mean": round(fixed_cell.throughput_mean, 2),
+            "adaptive_throughput_mean": round(
+                adaptive_cell.throughput_mean, 2),
+        })
+        print(f"  {spec.protocol.name:>7} N={spec.n_tags:<6} "
+              f"{assigned:3d}/{nominal_runs} runs (x{reduction:.2f}) "
+              f"within_ci={within}", file=sys.stderr)
+    stats = planner.stats
+    print(f"  adaptive {adaptive_s:.2f}s vs fixed {fixed_s:.2f}s, "
+          f"{stats.summary()}", file=sys.stderr)
+    print(f"  jobs-invariance (1 vs 4): {jobs_invariant}", file=sys.stderr)
+    return {
+        "protocols": [protocol.name for protocol in protocols],
+        "n_values": n_values,
+        "nominal_runs": nominal_runs,
+        "precision": precision,
+        "confidence": 0.95,
+        "min_runs": min_runs,
+        "batch_runs": batch_runs,
+        "jobs": jobs,
+        "cells": rows,
+        "fixed_s": round(fixed_s, 4),
+        "adaptive_s": round(adaptive_s, 4),
+        "time_speedup": round(fixed_s / adaptive_s, 3)
+        if adaptive_s else 0.0,
+        "total_nominal_runs": stats.nominal_runs,
+        "total_assigned_runs": stats.assigned_runs,
+        "run_reduction": round(stats.reduction, 3),
+        "within_ci": all_within,
+        "planner_jobs_invariant": jobs_invariant,
+        "stopped": {"precision": stats.stopped_precision,
+                    "max_runs": stats.stopped_max_runs,
+                    "budget": stats.stopped_budget},
+    }
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        description="Time the simulation engines and write BENCH_5.json")
-    parser.add_argument("--out", type=Path, default=Path("BENCH_5.json"),
+        description="Time the simulation engines and write BENCH_6.json")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_6.json"),
                         help="where to write the JSON artefact")
     parser.add_argument("--jobs", type=int, default=0,
                         help="parallel worker count (0 = all cores)")
@@ -269,9 +398,13 @@ def main(argv: list[str] | None = None) -> int:
     jobs = args.jobs if args.jobs > 0 else default_jobs()
     if args.smoke:
         cell_grid, sweep_grid, runs, obs_n = [200, 500], [200, 500], 3, 500
+        planner_knobs = {"nominal_runs": 12, "precision": 0.1,
+                         "min_runs": 5, "batch_runs": 5}
     else:
         cell_grid, sweep_grid, runs, obs_n = [500, 5000, 10000], \
             [500, 5000], args.runs, 10000
+        planner_knobs = {"nominal_runs": 100, "precision": 0.01,
+                         "min_runs": 25, "batch_runs": 25}
     cache_path = args.out.with_suffix(".cache.json")
     if cache_path.exists():
         cache_path.unlink()  # the cold leg must actually be cold
@@ -286,6 +419,11 @@ def main(argv: list[str] | None = None) -> int:
                               cache_path)
     if cache_path.exists():
         cache_path.unlink()
+    print(f"[{BENCH_NAME}] adaptive planner vs fixed budget "
+          f"(R={planner_knobs['nominal_runs']}, "
+          f"precision={planner_knobs['precision']})", file=sys.stderr)
+    planner_stats = bench_planner(cell_grid, seed=args.seed + 1, jobs=jobs,
+                                  **planner_knobs)
     payload = {
         "schema": SCHEMA,
         "bench": BENCH_NAME,
@@ -299,6 +437,7 @@ def main(argv: list[str] | None = None) -> int:
         "cells": cells,
         "observability": observability,
         "sweep": sweep_stats,
+        "planner": planner_stats,
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     kernel_speedups = ", ".join(
@@ -310,6 +449,9 @@ def main(argv: list[str] | None = None) -> int:
           f"warm cache {sweep_stats['warm_fraction']:.1%} of cold, "
           f"utilization {sweep_stats['worker_utilization']:.0%}, "
           f"obs overhead {observability['enabled_overhead_pct']:+.1f}%, "
+          f"planner x{planner_stats['run_reduction']} runs "
+          f"(within_ci={planner_stats['within_ci']}, "
+          f"jobs-invariant={planner_stats['planner_jobs_invariant']}), "
           f"wrote {args.out}", file=sys.stderr)
     return 0
 

@@ -87,6 +87,7 @@ class LintConfig:
     #: and they may be listed in the ``PACKAGES`` manifest.
     api_export_modules: tuple[str, ...] = (
         "repro/experiments/executor.py",
+        "repro/experiments/planner.py",
         "repro/obs/events.py",
         "repro/obs/manifest.py",
         "repro/obs/metrics.py",
@@ -117,6 +118,10 @@ class LintConfig:
         # The sweep executor's worker entry point: in a pool worker process
         # this is the outermost frame above the seeded simulation path.
         "repro.experiments.executor:run_chunk",
+        # The adaptive planner's loop: outside callers drive it directly
+        # (scripts/bench.py, the CLI's --precision path) and every batch
+        # it schedules flows into the seeded executor fan-out.
+        "repro.experiments.planner:plan_cells",
         "repro.analysis.link_budget:simulated_ber",
         "repro.analysis.link_budget:channel_model_from_snr",
         "repro.baselines.abs_protocol:AdaptiveBinarySplitting.reread",
@@ -154,6 +159,9 @@ class LintConfig:
     #: everything reachable from them crosses the fork boundary.
     worker_roots: tuple[str, ...] = (
         "repro.experiments.executor:run_chunk",
+        # The planner loop: pool workers fork from the parent mid-round,
+        # so everything its frame reaches crosses the fork boundary too.
+        "repro.experiments.planner:plan_cells",
     )
     #: Module globals (``module.dotted:name``) audited as fork-safe: either
     #: re-initialized per worker or merged back through ChunkOutcome.
@@ -182,6 +190,9 @@ class LintConfig:
         "repro.experiments.runner:run_cell",
         "repro.experiments.runner:sweep",
         "repro.experiments.executor:run_chunk",
+        # The adaptive planner's sequential-stopping loop: with
+        # --precision this is the frame every bench/CLI cell runs under.
+        "repro.experiments.planner:plan_cells",
         "repro.sim.base:run_many",
         # The kernel engine's chunk entry: under engine="kernel" this is
         # what the BENCH cells actually spend their time in.

@@ -9,10 +9,18 @@ the command line; EXPERIMENTS.md records paper-vs-measured for each.
 from repro.experiments.executor import (
     CellSpec,
     ExecutionPlan,
+    RunBatch,
     default_jobs,
     execute_cells,
+    execute_run_metrics,
 )
-from repro.experiments.result_cache import ResultCache, cell_key
+from repro.experiments.planner import (
+    PlannerConfig,
+    PlannerStats,
+    Welford,
+    plan_cells,
+)
+from repro.experiments.result_cache import ResultCache, cell_key, run_range_key
 from repro.experiments.runner import (
     rng_from_seed,
     run_cell,
@@ -48,11 +56,18 @@ from repro.experiments.ablations import (
 __all__ = [
     "CellSpec",
     "ExecutionPlan",
+    "PlannerConfig",
+    "PlannerStats",
     "ResultCache",
+    "RunBatch",
+    "Welford",
     "cell_key",
     "default_jobs",
     "execute_cells",
+    "execute_run_metrics",
+    "plan_cells",
     "rng_from_seed",
+    "run_range_key",
     "run_cell",
     "run_single",
     "spawn_run_seeds",

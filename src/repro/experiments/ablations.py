@@ -150,12 +150,14 @@ def run_ablation_noise(config: AblationNoiseConfig = AblationNoiseConfig(),
                  channel=ChannelModel(collision_unusable_prob=q))
         for index, q in enumerate(config.loss_probabilities)
     ]
-    cells = execute_cells(specs, jobs=plan.jobs, cache=plan.cache)
+    cells = execute_cells(specs, jobs=plan.jobs, cache=plan.cache,
+                          planner=plan.planner)
     throughputs = [cell.throughput_mean for cell in cells]
     for q, cell in zip(config.loss_probabilities, cells):
         table.add_row(f"{q:.2f}", cell.throughput_mean)
     dfsa = run_cell(Dfsa(), config.n_tags, config.runs, config.seed + 999,
-                    jobs=plan.jobs, cache=plan.cache)
+                    jobs=plan.jobs, cache=plan.cache,
+                    planner=plan.planner)
     table.add_note(
         f"DFSA reference: {dfsa.throughput_mean:.1f} tags/s. With all records "
         "useless FCAT lands *below* DFSA because its load omega = 1.414 "
@@ -213,7 +215,8 @@ def run_ablation_capture(config: AblationCaptureConfig = AblationCaptureConfig()
         for index, capture in enumerate(config.capture_probabilities)
         for column, factory in enumerate(protocols.values())
     ]
-    cells = iter(execute_cells(specs, jobs=plan.jobs, cache=plan.cache))
+    cells = iter(execute_cells(specs, jobs=plan.jobs, cache=plan.cache,
+                               planner=plan.planner))
     curves: dict[str, list[float]] = {label: [] for label in protocols}
     for capture in config.capture_probabilities:
         row: list[float] = []
@@ -270,7 +273,8 @@ def run_ablation_prestep(config: AblationPrestepConfig = AblationPrestepConfig()
     ]
     specs.append(CellSpec(protocol=Fcat(lam=2), n_tags=config.n_tags,
                           runs=config.runs, seed=config.seed + 99))
-    cells = execute_cells(specs, jobs=plan.jobs, cache=plan.cache)
+    cells = execute_cells(specs, jobs=plan.jobs, cache=plan.cache,
+                          planner=plan.planner)
     oracle, fcat = cells[0], cells[-1]
     table.add_row("SCAT-2 (oracle count)", oracle.throughput_mean)
     prestep: dict[float, float] = {}
@@ -454,7 +458,8 @@ def run_crdsa_comparison(config: CrdsaComparisonConfig = CrdsaComparisonConfig()
         for row, n in enumerate(config.n_values)
         for column, protocol in enumerate(protocols)
     ]
-    flat = iter(execute_cells(specs, jobs=plan.jobs, cache=plan.cache))
+    flat = iter(execute_cells(specs, jobs=plan.jobs, cache=plan.cache,
+                              planner=plan.planner))
     for n in config.n_values:
         values = []
         for protocol in protocols:

@@ -51,6 +51,7 @@ from repro.experiments.ablations import (
     run_crdsa_comparison,
 )
 from repro.experiments.executor import ExecutionPlan, default_jobs
+from repro.experiments.planner import PlannerConfig
 from repro.experiments.fig3 import Fig3Config, run_fig3
 from repro.experiments.fig4 import Fig4Config, run_fig4
 from repro.experiments.fig5 import Fig5Config, run_fig5
@@ -214,7 +215,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "versions, per-cell timings) to this JSON file")
     parser.add_argument("--smoke", action="store_true",
                         help="CI-sized run: caps --runs at 2 and shrinks "
-                             "the table1 grid to N in {500, 1000}")
+                             "the table1 grid to N in {500, 1000} (with "
+                             "--precision, --runs floors at 20 instead so "
+                             "the planner has a budget to save)")
+    parser.add_argument("--precision", type=float, default=None,
+                        help="adaptive mode: stop each cell once the "
+                             "throughput CI half-width reaches this "
+                             "relative precision; --runs becomes the "
+                             "nominal budget per cell")
+    parser.add_argument("--min-runs", type=int, default=8,
+                        help="adaptive mode: floor of runs per cell before "
+                             "a stopping decision (default 8)")
+    parser.add_argument("--max-runs", type=int, default=None,
+                        help="adaptive mode: ceiling of runs per cell "
+                             "(default: 2x the nominal budget)")
     return parser
 
 
@@ -227,7 +241,15 @@ def build_plan(args: argparse.Namespace) -> ExecutionPlan:
     if not args.no_result_cache:
         cache = ResultCache(args.result_cache) if args.result_cache \
             else ResultCache()
-    return ExecutionPlan(jobs=jobs, cache=cache)
+    planner = None
+    if args.precision is not None:
+        try:
+            planner = PlannerConfig(precision=args.precision,
+                                    min_runs=args.min_runs,
+                                    max_runs=args.max_runs)
+        except ValueError as error:
+            raise SystemExit(f"--precision: {error}") from None
+    return ExecutionPlan(jobs=jobs, cache=cache, planner=planner)
 
 
 def _write_observability(args: argparse.Namespace, plan: ExecutionPlan,
@@ -255,7 +277,10 @@ def main(argv: list[str] | None = None) -> int:
                *(argv if argv is not None else sys.argv[1:])]
     args = build_parser().parse_args(argv)
     if args.smoke:
-        args.runs = min(args.runs, 2)
+        # Adaptive smoke needs a budget worth saving: a 2-run nominal
+        # leaves the planner nothing to stop early.
+        args.runs = max(args.runs, 20) if args.precision is not None \
+            else min(args.runs, 2)
     plan = build_plan(args)
     names = sorted(EXPERIMENTS) if "all" in args.experiments \
         else list(dict.fromkeys(args.experiments))
@@ -276,6 +301,8 @@ def main(argv: list[str] | None = None) -> int:
     if observation is not None:
         _write_observability(args, plan, observation, command, started_unix,
                              wall_time_s=time.time() - started_unix)
+    if plan.planner is not None:
+        print(f"[{plan.planner.stats.summary()}]", file=sys.stderr)
     if plan.cache is not None:
         print(f"[{plan.cache.stats()}]", file=sys.stderr)
     return 0

@@ -25,6 +25,7 @@ drive this engine; `BENCH_3.json` records the measured speedups.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import multiprocessing
 import os
@@ -35,21 +36,29 @@ from typing import Sequence
 import numpy as np
 
 from repro.air.timing import ICODE_TIMING, TimingModel
-from repro.experiments.result_cache import ResultCache, cell_key
+from repro.experiments.result_cache import ResultCache, cell_key, run_range_key
 from repro.experiments.runner import run_single, spawn_run_seeds
 from repro.obs import scope
 from repro.obs.manifest import CellRun
 from repro.obs.scope import Observation
 from repro.sim.base import TagReadingProtocol
 from repro.sim.channel import PERFECT_CHANNEL, ChannelModel
-from repro.sim.result import AggregateResult, ReadingResult, aggregate
+from repro.sim.result import (
+    AggregateResult,
+    ReadingResult,
+    RunMetrics,
+    aggregate_metrics,
+    run_metrics,
+)
 
 __all__ = [
     "CellSpec",
     "ChunkOutcome",
     "ExecutionPlan",
+    "RunBatch",
     "default_jobs",
     "execute_cells",
+    "execute_run_metrics",
     "run_chunk",
 ]
 
@@ -68,11 +77,22 @@ class CellSpec:
     #: frame-at-once sessions, kernel-v2 seed semantics).  Part of the
     #: cache key: the engines are statistically, not bitwise, equivalent.
     engine: str = "scalar"
+    #: First run index of this (possibly partial) cell.  A batch covering
+    #: runs ``[run_start, run_start + runs)`` consumes exactly those
+    #: ``SeedSequence`` children of the cell seed -- the planner's
+    #: prefix-determinism contract rests on this slicing.
+    run_start: int = 0
 
     def key(self) -> str:
         """The cell's content address (see ``result_cache.cell_key``)."""
         return cell_key(self.protocol, self.n_tags, self.runs, self.seed,
-                        self.channel, self.timing, engine=self.engine)
+                        self.channel, self.timing, engine=self.engine,
+                        run_start=self.run_start)
+
+    def range_key(self) -> str:
+        """The base address this cell's run-range entries file under."""
+        return run_range_key(self.protocol, self.n_tags, self.seed,
+                             self.channel, self.timing, engine=self.engine)
 
 
 @dataclass(frozen=True)
@@ -86,10 +106,16 @@ class ExecutionPlan:
 
     jobs: int = 1
     cache: ResultCache | None = field(default=None, compare=False)
+    #: When set, ``execute_cells`` routes through the adaptive sequential
+    #: planner (``repro.experiments.planner``) instead of the fixed budget.
+    planner: "PlannerConfig | None" = field(default=None, compare=False)
 
     def describe(self) -> str:
         mode = f"{self.jobs} worker(s)" if self.jobs > 1 else "serial"
-        return f"{mode}, cache {'on' if self.cache is not None else 'off'}"
+        described = f"{mode}, cache {'on' if self.cache is not None else 'off'}"
+        if self.planner is not None:
+            described += f", adaptive precision {self.planner.precision:g}"
+        return described
 
 
 #: The plan every experiment uses unless the caller supplies one.
@@ -195,7 +221,11 @@ def _chunk_tasks(specs: Sequence[CellSpec], indices: Sequence[int],
     tasks: list[_ChunkTask] = []
     for cell_index in indices:
         spec = specs[cell_index]
-        children = spawn_run_seeds(spec.seed, spec.runs)
+        # Children are indexed by spawn key, so spawning the full prefix and
+        # slicing gives batch runs the exact seeds a fixed-budget run would:
+        # spawn(m)[k:] == spawn(k + m')[k:] for any covering m.
+        children = spawn_run_seeds(
+            spec.seed, spec.run_start + spec.runs)[spec.run_start:]
         for chunk_index, start in enumerate(
                 range(0, spec.runs, chunk_size)):
             tasks.append(_ChunkTask(
@@ -250,8 +280,52 @@ def _record_cell(obs: Observation, spec: CellSpec, key: str,
              elapsed_s=elapsed_s, cached=cached)
 
 
+def _compute_pending(specs: Sequence[CellSpec], pending: Sequence[int],
+                     jobs: int, obs: Observation | None,
+                     ) -> dict[int, tuple[list[ReadingResult], float]]:
+    """Simulate the pending cells; per-index results in serial run order.
+
+    The shared fan-out/fold both :func:`execute_cells` and
+    :func:`execute_run_metrics` rest on: chunk, dispatch, merge worker
+    telemetry in deterministic task order, reassemble each cell's runs by
+    ``(cell_index, chunk_index)``.
+    """
+    tasks = _chunk_tasks(specs, pending, jobs, collect=obs is not None)
+    outcomes = _run_tasks(tasks, jobs, obs)
+    per_cell: dict[int, list[tuple[int, ChunkOutcome]]] = {
+        index: [] for index in pending}
+    for task, outcome in zip(tasks, outcomes):
+        per_cell[task.cell_index].append((task.chunk_index, outcome))
+        if obs is not None:
+            if outcome.observation is not None:
+                # Deterministic task order here; the metrics fold is
+                # commutative besides, so chunk completion order can
+                # never leak into the merged registry.
+                obs.merge(outcome.observation)
+            obs.count("executor.chunks")
+            obs.observe_value("chunk.duration_s", outcome.duration_s)
+            obs.observe_value("chunk.queue_wait_s",
+                              outcome.queue_wait_s)
+            obs.emit("chunk_done", cell_index=task.cell_index,
+                     chunk_index=task.chunk_index,
+                     runs=len(task.children),
+                     duration_s=outcome.duration_s,
+                     queue_wait_s=outcome.queue_wait_s)
+    folded: dict[int, tuple[list[ReadingResult], float]] = {}
+    for index in pending:
+        ordered: list[ReadingResult] = []
+        elapsed = 0.0
+        for _, outcome in sorted(per_cell[index], key=lambda pair: pair[0]):
+            ordered.extend(outcome.results)
+            elapsed += outcome.duration_s
+        folded[index] = (ordered, elapsed)
+    return folded
+
+
 def execute_cells(specs: Sequence[CellSpec], jobs: int = 1,
-                  cache: ResultCache | None = None) -> list[AggregateResult]:
+                  cache: ResultCache | None = None,
+                  planner: "PlannerConfig | None" = None,
+                  ) -> list[AggregateResult]:
     """Compute every cell, in ``specs`` order, parallel- and cache-aware.
 
     The contract: the returned list is element-for-element identical to
@@ -260,13 +334,29 @@ def execute_cells(specs: Sequence[CellSpec], jobs: int = 1,
     active ``repro.obs`` scope the executor additionally reports per-chunk
     worker accounting and per-cell timings -- including cache-served cells,
     which would otherwise leave no telemetry at all on a warm run.
+
+    With ``planner`` set, dispatches to the adaptive sequential planner
+    (:func:`repro.experiments.planner.plan_cells`): each cell then runs
+    only until its confidence interval reaches the requested precision.
+
+    A cache miss on the whole cell still consults the cache's *run-range*
+    entries: a contiguous prefix left behind by an earlier planner run is
+    reused and only the suffix is simulated -- bit-identically, because
+    :func:`repro.sim.result.aggregate` is a pure function of the per-run
+    :class:`RunMetrics` whoever computed them.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if planner is not None:
+        from repro.experiments.planner import plan_cells
+        return plan_cells(specs, planner, jobs=jobs, cache=cache)
     obs = scope.active()
     results: list[AggregateResult | None] = [None] * len(specs)
     pending: list[int] = []
     keys: dict[int, str] = {}
+    #: index -> cached prefix metrics; the pool simulates only the suffix.
+    prefixes: dict[int, list[RunMetrics]] = {}
+    work: list[CellSpec] = list(specs)
     for index, spec in enumerate(specs):
         if cache is not None:
             keys[index] = spec.key()
@@ -280,44 +370,100 @@ def execute_cells(specs: Sequence[CellSpec], jobs: int = 1,
                                  time.perf_counter() - lookup_started,
                                  cached=True)
                 continue
+            if spec.run_start == 0:
+                prefix = cache.run_prefix(spec.range_key(), spec.runs)
+                if len(prefix) >= spec.runs:
+                    results[index] = aggregate_metrics(
+                        spec.protocol.name, spec.n_tags, prefix[:spec.runs])
+                    cache.store(keys[index], results[index])
+                    if obs is not None:
+                        obs.count("executor.cells.cached")
+                        _record_cell(obs, spec, keys[index],
+                                     time.perf_counter() - lookup_started,
+                                     cached=True)
+                    continue
+                if prefix:
+                    prefixes[index] = prefix
+                    work[index] = dataclasses.replace(
+                        spec, run_start=len(prefix),
+                        runs=spec.runs - len(prefix))
         pending.append(index)
     if pending:
-        tasks = _chunk_tasks(specs, pending, jobs, collect=obs is not None)
-        outcomes = _run_tasks(tasks, jobs, obs)
-        per_cell: dict[int, list[tuple[int, ChunkOutcome]]] = {
-            index: [] for index in pending}
-        for task, outcome in zip(tasks, outcomes):
-            per_cell[task.cell_index].append((task.chunk_index, outcome))
-            if obs is not None:
-                if outcome.observation is not None:
-                    # Deterministic task order here; the metrics fold is
-                    # commutative besides, so chunk completion order can
-                    # never leak into the merged registry.
-                    obs.merge(outcome.observation)
-                obs.count("executor.chunks")
-                obs.observe_value("chunk.duration_s", outcome.duration_s)
-                obs.observe_value("chunk.queue_wait_s",
-                                  outcome.queue_wait_s)
-                obs.emit("chunk_done", cell_index=task.cell_index,
-                         chunk_index=task.chunk_index,
-                         runs=len(task.children),
-                         duration_s=outcome.duration_s,
-                         queue_wait_s=outcome.queue_wait_s)
+        folded = _compute_pending(work, pending, jobs, obs)
         for index in pending:
-            ordered: list[ReadingResult] = []
-            elapsed = 0.0
-            for _, outcome in sorted(per_cell[index],
-                                     key=lambda pair: pair[0]):
-                ordered.extend(outcome.results)
-                elapsed += outcome.duration_s
-            results[index] = aggregate(ordered)
+            ordered, elapsed = folded[index]
+            computed = [run_metrics(result) for result in ordered]
+            values = prefixes.get(index, []) + computed
+            spec = specs[index]
+            results[index] = aggregate_metrics(
+                spec.protocol.name, spec.n_tags, values)
             if obs is not None:
                 obs.count("executor.cells.computed")
-                _record_cell(obs, specs[index],
-                             keys.get(index) or specs[index].key(),
+                _record_cell(obs, spec, keys.get(index) or spec.key(),
                              elapsed, cached=False)
             if cache is not None:
                 cache.store(keys[index], results[index])
+                cache.store_runs(spec.range_key(), work[index].run_start,
+                                 computed)
         if cache is not None:
             cache.save()
     return [result for result in results if result is not None]
+
+
+@dataclass
+class RunBatch:
+    """One batch's per-run metrics plus where they came from."""
+
+    values: list[RunMetrics]
+    cached: bool
+    elapsed_s: float = 0.0
+
+
+def execute_run_metrics(specs: Sequence[CellSpec], jobs: int = 1,
+                        cache: ResultCache | None = None) -> list[RunBatch]:
+    """Compute per-run metric vectors for every (partial) cell in ``specs``.
+
+    The planner's substrate: each spec is typically one batch -- runs
+    ``[run_start, run_start + runs)`` of some cell -- and the returned
+    vectors are exactly what :func:`repro.sim.result.aggregate_metrics`
+    folds, so sequential stopping composes aggregates bit-identical to a
+    fixed-budget run.  Batches already in the cache's run-range store are
+    served without simulating; computed batches are stored for the next
+    (warm or fixed-budget) run.  Manifest/cell accounting mirrors
+    :func:`execute_cells`, with the batch's range-qualified key.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    obs = scope.active()
+    batches: list[RunBatch | None] = [None] * len(specs)
+    pending: list[int] = []
+    for index, spec in enumerate(specs):
+        if cache is not None:
+            lookup_started = time.perf_counter()
+            hit = cache.lookup_runs(spec.range_key(), spec.run_start,
+                                    spec.run_start + spec.runs)
+            if hit is not None:
+                elapsed = time.perf_counter() - lookup_started
+                batches[index] = RunBatch(values=hit, cached=True,
+                                          elapsed_s=elapsed)
+                if obs is not None:
+                    obs.count("executor.batches.cached")
+                    _record_cell(obs, spec, spec.key(), elapsed, cached=True)
+                continue
+        pending.append(index)
+    if pending:
+        folded = _compute_pending(specs, pending, jobs, obs)
+        for index in pending:
+            ordered, elapsed = folded[index]
+            spec = specs[index]
+            values = [run_metrics(result) for result in ordered]
+            batches[index] = RunBatch(values=values, cached=False,
+                                      elapsed_s=elapsed)
+            if obs is not None:
+                obs.count("executor.batches.computed")
+                _record_cell(obs, spec, spec.key(), elapsed, cached=False)
+            if cache is not None:
+                cache.store_runs(spec.range_key(), spec.run_start, values)
+        if cache is not None:
+            cache.save()
+    return [batch for batch in batches if batch is not None]

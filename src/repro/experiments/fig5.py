@@ -64,7 +64,8 @@ def run_fig5(config: Fig5Config = Fig5Config(),
                      seed=seed + grid_index)
             for grid_index, omega in enumerate(config.omega_grid)
         ]
-        cells = execute_cells(specs, jobs=plan.jobs, cache=plan.cache)
+        cells = execute_cells(specs, jobs=plan.jobs, cache=plan.cache,
+                              planner=plan.planner)
         curves[lam] = [cell.throughput_mean for cell in cells]
         chart.add_series(f"FCAT-{lam}", np.asarray(config.omega_grid),
                          np.asarray(curves[lam]))

@@ -70,7 +70,8 @@ def run_fig6(config: Fig6Config = Fig6Config(),
                      seed=seed + grid_index)
             for grid_index, frame_size in enumerate(config.frame_sizes)
         ]
-        cells = execute_cells(specs, jobs=plan.jobs, cache=plan.cache)
+        cells = execute_cells(specs, jobs=plan.jobs, cache=plan.cache,
+                              planner=plan.planner)
         curves[lam] = [cell.throughput_mean for cell in cells]
         chart.add_series(f"FCAT-{lam}",
                          np.asarray(config.frame_sizes, dtype=float),

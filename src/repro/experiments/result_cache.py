@@ -16,6 +16,15 @@ lint cache from ``repro.devtools.cache``).  The store is one JSON file,
 simulator source tree -- so editing any protocol, channel or codec never
 replays stale numbers.  Corrupt or unreadable files are treated as empty:
 the cache can only ever make a run faster, never wrong.
+
+Schema 2 adds **partial-batch entries**: per-run
+:class:`~repro.sim.result.RunMetrics` vectors keyed by the run-seed range
+``[start, stop)`` under a *range base key* (the cell fingerprint minus
+``runs``).  The adaptive sweep planner stores each batch it simulates here,
+a warm planner run resumes from the cached prefix, and a later fixed-budget
+run reassembles full cells from planner batches -- bit-identically, because
+run ``i``'s metrics are a pure function of the cell config and the ``i``-th
+``SeedSequence`` child, whoever computed them.
 """
 
 from __future__ import annotations
@@ -31,10 +40,11 @@ from repro.air.timing import TimingModel
 from repro.obs import scope
 from repro.sim.base import TagReadingProtocol
 from repro.sim.channel import ChannelModel
-from repro.sim.result import AggregateResult
+from repro.sim.result import AggregateResult, RunMetrics
 
 #: Bump when the fingerprint layout or the stored-result shape changes.
-RESULT_CACHE_SCHEMA = 1
+#: 2: partial-batch run-range entries (the adaptive planner's substrate).
+RESULT_CACHE_SCHEMA = 2
 
 DEFAULT_RESULT_CACHE_NAME = ".repro-results-cache.json"
 
@@ -115,13 +125,14 @@ def canonical_fingerprint(value: object) -> object:
 
 def cell_key(protocol: TagReadingProtocol, n_tags: int, runs: int, seed: int,
              channel: ChannelModel, timing: TimingModel,
-             engine: str = "scalar") -> str:
+             engine: str = "scalar", run_start: int = 0) -> str:
     """The content address of one cell: SHA-256 of its canonical spec.
 
     The engine is part of the address -- scalar and kernel cells follow
     the same process law but different draw orders, so their aggregates
     differ bitwise and must never serve each other.  The default scalar
-    engine is omitted from the payload to keep pre-kernel keys stable.
+    engine (and the default ``run_start`` of a whole cell) is omitted from
+    the payload to keep pre-existing keys stable.
     """
     spec = {
         "protocol": canonical_fingerprint(protocol),
@@ -133,8 +144,44 @@ def cell_key(protocol: TagReadingProtocol, n_tags: int, runs: int, seed: int,
     }
     if engine != "scalar":
         spec["engine"] = engine
+    if run_start:
+        spec["run_start"] = run_start
     payload = json.dumps(spec, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def run_range_key(protocol: TagReadingProtocol, n_tags: int, seed: int,
+                  channel: ChannelModel, timing: TimingModel,
+                  engine: str = "scalar") -> str:
+    """The base address partial-batch entries of one cell share.
+
+    Identical to :func:`cell_key` minus ``runs``/``run_start``: every batch
+    of the same (protocol, N, seed, channel, timing, engine) cell -- whatever
+    range it covers -- files under this key, with the ``[start, stop)``
+    range as the sub-key.  A ``kind`` marker keeps the namespace disjoint
+    from full-cell addresses.
+    """
+    spec = {
+        "kind": "run-range",
+        "protocol": canonical_fingerprint(protocol),
+        "n_tags": n_tags,
+        "seed": seed,
+        "channel": canonical_fingerprint(channel),
+        "timing": canonical_fingerprint(timing),
+    }
+    if engine != "scalar":
+        spec["engine"] = engine
+    payload = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _range_to_label(span: tuple[int, int]) -> str:
+    return f"{span[0]}-{span[1]}"
+
+
+def _range_from_label(label: str) -> tuple[int, int]:
+    start, stop = label.split("-")
+    return int(start), int(stop)
 
 
 def _result_to_dict(result: AggregateResult) -> dict:
@@ -148,7 +195,15 @@ def _result_from_dict(data: dict) -> AggregateResult:
 
 
 class ResultCache:
-    """Keyed store of ``AggregateResult``s with hit/miss accounting."""
+    """Keyed store of ``AggregateResult``s with hit/miss accounting.
+
+    Besides whole-cell aggregates the cache holds **run-range entries**:
+    per-run :class:`RunMetrics` vectors under ``(range base key, start,
+    stop)``, written batch-by-batch by the adaptive planner and by the
+    executor for every cell it computes.  ``run_prefix`` stitches stored
+    ranges into the longest contiguous run prefix -- what both a resuming
+    planner and a fixed-budget rerun consume.
+    """
 
     def __init__(self, path: Path | str = DEFAULT_RESULT_CACHE_NAME,
                  signature: str | None = None) -> None:
@@ -157,7 +212,11 @@ class ResultCache:
             else package_signature()
         self.hits = 0
         self.misses = 0
+        self.run_hits = 0
+        self.run_misses = 0
         self._entries: dict[str, AggregateResult] = {}
+        #: base key -> {(start, stop) -> per-run metric vectors}.
+        self._runs: dict[str, dict[tuple[int, int], list[RunMetrics]]] = {}
         self._dirty = False
         self._load()
 
@@ -180,8 +239,14 @@ class ResultCache:
             self._entries = {
                 key: _result_from_dict(entry)
                 for key, entry in payload.get("entries", {}).items()}
+            self._runs = {
+                key: {_range_from_label(label):
+                      [RunMetrics.from_list(row) for row in rows]
+                      for label, rows in spans.items()}
+                for key, spans in payload.get("runs", {}).items()}
         except (KeyError, TypeError, ValueError):
             self._entries = {}
+            self._runs = {}
             scope.emit("cache_invalidated", path=str(self.path),
                        reason="entry shape mismatch")
 
@@ -210,6 +275,73 @@ class ResultCache:
         self._entries[key] = result
         self._dirty = True
 
+    # -- run-range (partial batch) entries ---------------------------------
+
+    def lookup_runs(self, key: str, start: int,
+                    stop: int) -> list[RunMetrics] | None:
+        """Serve the run range ``[start, stop)`` of base ``key``.
+
+        Any stored span covering the request serves it (run ``i``'s
+        metrics are identical whoever computed them), so planner batches
+        resume from an earlier fixed-budget write just as a fixed-budget
+        run resumes from planner batches.
+        """
+        spans = self._runs.get(key, {})
+        values = spans.get((start, stop))
+        if values is None:
+            for (span_start, span_stop), stored in spans.items():
+                if span_start <= start and span_stop >= stop:
+                    values = stored[start - span_start:stop - span_start]
+                    break
+        if values is not None:
+            self.run_hits += 1
+            scope.inc("result_cache.run_hits")
+            scope.emit("cache_hit", key=f"{key}:{start}:{stop}")
+            return list(values)
+        self.run_misses += 1
+        scope.inc("result_cache.run_misses")
+        scope.emit("cache_miss", key=f"{key}:{start}:{stop}")
+        return None
+
+    def store_runs(self, key: str, start: int,
+                   values: list[RunMetrics]) -> None:
+        """File ``values`` as runs ``[start, start + len(values))``."""
+        if not values:
+            return
+        self._runs.setdefault(key, {})[(start, start + len(values))] = \
+            list(values)
+        self._dirty = True
+
+    def run_prefix(self, key: str, limit: int) -> list[RunMetrics]:
+        """The longest contiguous run prefix stored under base ``key``.
+
+        Stored ranges may overlap (a planner batch and a later full-cell
+        write cover the same runs); any covering range serves, because run
+        ``i``'s metrics are identical whoever computed them.  At most
+        ``limit`` runs are returned.
+        """
+        spans = self._runs.get(key)
+        if not spans:
+            return []
+        ordered = sorted(spans.items())
+        prefix: list[RunMetrics] = []
+        position = 0
+        while position < limit:
+            best_stop = position
+            best: tuple[tuple[int, int], list[RunMetrics]] | None = None
+            for (start, stop), values in ordered:
+                if start > position:
+                    break
+                if stop > best_stop:
+                    best_stop = stop
+                    best = ((start, stop), values)
+            if best is None:
+                break
+            (start, _), values = best
+            prefix.extend(values[position - start:limit - start])
+            position = min(best_stop, limit)
+        return prefix
+
     def save(self) -> None:
         """Persist all entries; a no-op unless something was stored."""
         if not self._dirty:
@@ -218,6 +350,10 @@ class ResultCache:
             "signature": self.signature,
             "entries": {key: _result_to_dict(entry)
                         for key, entry in sorted(self._entries.items())},
+            "runs": {key: {_range_to_label(span):
+                           [value.to_list() for value in values]
+                           for span, values in sorted(spans.items())}
+                     for key, spans in sorted(self._runs.items())},
         }
         try:
             self.path.write_text(json.dumps(payload), encoding="utf-8")
@@ -227,5 +363,8 @@ class ResultCache:
 
     def stats(self) -> str:
         """One-line hit/miss summary for CLI surfacing."""
-        return (f"result cache: {self.hits} hits / {self.misses} misses "
-                f"({len(self._entries)} entries in {self.path})")
+        ranges = sum(len(spans) for spans in self._runs.values())
+        return (f"result cache: {self.hits} hits / {self.misses} misses, "
+                f"{self.run_hits}/{self.run_misses} run-range hits/misses "
+                f"({len(self._entries)} cells + {ranges} ranges "
+                f"in {self.path})")

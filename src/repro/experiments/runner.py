@@ -27,6 +27,7 @@ from repro.sim.population import TagPopulation
 from repro.sim.result import AggregateResult, ReadingResult
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.experiments.planner import PlannerConfig
     from repro.experiments.result_cache import ResultCache
 
 #: Seed offsets decorrelating the cells of a sweep grid (column = protocol,
@@ -83,7 +84,9 @@ def run_cell(protocol: TagReadingProtocol, n_tags: int, runs: int, seed: int,
              timing: TimingModel = ICODE_TIMING,
              jobs: int = 1,
              cache: "ResultCache | None" = None,
-             engine: str = "scalar") -> AggregateResult:
+             engine: str = "scalar",
+             precision: float | None = None,
+             planner: "PlannerConfig | None" = None) -> AggregateResult:
     """Average ``runs`` sessions of one protocol at one population size.
 
     ``jobs`` > 1 fans the runs out across worker processes; ``cache`` serves
@@ -93,15 +96,35 @@ def run_cell(protocol: TagReadingProtocol, n_tags: int, runs: int, seed: int,
     sessions of :mod:`repro.kernels` where supported (kernel-v2 seed
     semantics: statistically, not bitwise, equivalent to scalar; cached
     under a distinct key).
+
+    ``precision`` (or a full ``planner`` config; passing both is an error)
+    switches the cell to the adaptive sequential planner: ``runs`` becomes
+    the *nominal* budget and the cell stops early once the target metric's
+    CI reaches the requested relative precision -- a bit-identical prefix
+    of the fixed-budget run (see :mod:`repro.experiments.planner`).
     """
     if n_tags < 0:
         raise ValueError("n_tags must be non-negative")
     if runs < 1:
         raise ValueError("runs must be >= 1")
+    planner = _resolve_planner(precision, planner)
     from repro.experiments.executor import CellSpec, execute_cells
     spec = CellSpec(protocol=protocol, n_tags=n_tags, runs=runs, seed=seed,
                     channel=channel, timing=timing, engine=engine)
-    return execute_cells([spec], jobs=jobs, cache=cache)[0]
+    return execute_cells([spec], jobs=jobs, cache=cache,
+                         planner=planner)[0]
+
+
+def _resolve_planner(precision: float | None,
+                     planner: "PlannerConfig | None"
+                     ) -> "PlannerConfig | None":
+    """Fold the ``precision=`` shorthand into a planner config."""
+    if precision is not None and planner is not None:
+        raise ValueError("pass precision= or planner=, not both")
+    if precision is None:
+        return planner
+    from repro.experiments.planner import PlannerConfig
+    return PlannerConfig(precision=precision)
 
 
 def sweep(protocols: list[TagReadingProtocol], n_values: list[int],
@@ -110,25 +133,35 @@ def sweep(protocols: list[TagReadingProtocol], n_values: list[int],
           timing: TimingModel = ICODE_TIMING,
           jobs: int = 1,
           cache: "ResultCache | None" = None,
-          engine: str = "scalar"
+          engine: str = "scalar",
+          precision: float | None = None,
+          planner: "PlannerConfig | None" = None
           ) -> dict[tuple[str, int], AggregateResult]:
     """Run every (protocol, N) cell; seeds are decorrelated per cell.
 
     Raises ``ValueError`` when two protocols share a display ``name`` at the
     same N: the result dict is keyed by ``(name, n_tags)``, so a duplicate
-    would silently overwrite the first protocol's cell.
+    would silently overwrite the first protocol's cell.  The error names
+    every offending ``(name, N)`` cell so a mis-built roster is fixable
+    from the message alone.
+
+    ``precision``/``planner`` switch the whole grid to the adaptive
+    sequential planner (see :func:`run_cell`); saved budget flows to the
+    highest-variance cells still open.
     """
+    planner = _resolve_planner(precision, planner)
     from repro.experiments.executor import CellSpec, execute_cells
     specs: list[CellSpec] = []
     keys: list[tuple[str, int]] = []
     seen: set[tuple[str, int]] = set()
+    duplicates: list[tuple[str, int]] = []
     for column, protocol in enumerate(protocols):
         for row, n_tags in enumerate(n_values):
             key = (protocol.name, n_tags)
             if key in seen:
-                raise ValueError(
-                    f"duplicate sweep cell {key}: two protocols share the "
-                    f"name {protocol.name!r}; give them distinct names")
+                if key not in duplicates:
+                    duplicates.append(key)
+                continue
             seen.add(key)
             keys.append(key)
             cell_seed = (seed + SWEEP_COLUMN_STRIDE * column
@@ -137,5 +170,11 @@ def sweep(protocols: list[TagReadingProtocol], n_values: list[int],
                                   runs=runs, seed=cell_seed,
                                   channel=channel, timing=timing,
                                   engine=engine))
-    results = execute_cells(specs, jobs=jobs, cache=cache)
+    if duplicates:
+        listed = ", ".join(f"({name!r}, {n_tags})"
+                           for name, n_tags in duplicates)
+        raise ValueError(
+            f"duplicate sweep cell(s) {listed}: two protocols share a "
+            "display name at the same N; give them distinct names")
+    results = execute_cells(specs, jobs=jobs, cache=cache, planner=planner)
     return dict(zip(keys, results))

@@ -56,7 +56,8 @@ def run_table1(config: Table1Config = Table1Config(),
                plan: ExecutionPlan = SERIAL_PLAN) -> Table1Result:
     protocols = table1_roster()
     cells = sweep(protocols, config.n_values, config.runs, config.seed,
-                  jobs=plan.jobs, cache=plan.cache)
+                  jobs=plan.jobs, cache=plan.cache,
+                  planner=plan.planner)
     names = [protocol.name for protocol in protocols]
     table = MarkdownTable(
         title="Table I -- reading throughput (tags/second)",

@@ -43,7 +43,8 @@ def run_table2(config: Table2Config = Table2Config(),
     cells = {
         protocol.name: run_cell(protocol, config.n_tags, config.runs,
                                 config.seed + index,
-                                jobs=plan.jobs, cache=plan.cache)
+                                jobs=plan.jobs, cache=plan.cache,
+                                planner=plan.planner)
         for index, protocol in enumerate(protocols)
     }
     table = MarkdownTable(

@@ -45,7 +45,8 @@ def run_table3(config: Table3Config = Table3Config(),
                plan: ExecutionPlan = SERIAL_PLAN) -> Table3Result:
     protocols = fcat_variants()
     cells = sweep(protocols, config.n_values, config.runs, config.seed,
-                  jobs=plan.jobs, cache=plan.cache)
+                  jobs=plan.jobs, cache=plan.cache,
+                  planner=plan.planner)
     table = MarkdownTable(
         title="Table III -- tag IDs resolved from collision slots",
         headers=["N"] + [protocol.name for protocol in protocols])

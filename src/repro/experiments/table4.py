@@ -77,7 +77,8 @@ def run_table4(config: Table4Config = Table4Config(),
             protocol=Fcat(lam=lam, frame_size=PAPER_FRAME_SIZE,
                           omega=computed),
             n_tags=config.n_tags, runs=config.runs, seed=seed + 999))
-        cells = execute_cells(specs, jobs=plan.jobs, cache=plan.cache)
+        cells = execute_cells(specs, jobs=plan.jobs, cache=plan.cache,
+                              planner=plan.planner)
         computed_cell = cells.pop()
         throughputs = [cell.throughput_mean for cell in cells]
         best_index = int(np.argmax(throughputs))

@@ -96,6 +96,19 @@ EVENT_SCHEMA: dict[str, EventSpec] = {
     "pool_start": _spec(workers="int", tasks="int", start_method="str"),
     "chunk_done": _spec(cell_index="int", chunk_index="int", runs="int",
                         duration_s="float", queue_wait_s="float"),
+    # Adaptive planner: one batch of one cell folded into its Welford
+    # state.  ``rel_half_width`` is -1.0 while undefined (fewer than two
+    # runs), never infinity -- JSON sinks must round-trip.
+    "planner_batch": _spec(protocol="str", n_tags="int", seed="int",
+                           batch_index="int", start="int", runs="int",
+                           cached="bool", mean="float",
+                           rel_half_width="float"),
+    # Adaptive planner: a cell closed.  ``reason`` is ``"precision"``,
+    # ``"max_runs"`` or ``"budget"``.
+    "planner_stop": _spec(protocol="str", n_tags="int", seed="int",
+                          reason="str", runs_used="int", nominal_runs="int",
+                          simulated_runs="int", cached_runs="int",
+                          mean="float", rel_half_width="float"),
     # Final registry snapshot, appended as the last line of a JSONL sink.
     "metrics_snapshot": _spec(metrics="mapping"),
 }

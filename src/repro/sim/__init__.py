@@ -18,7 +18,14 @@ from repro.sim.active_set import ActiveSet
 from repro.sim.base import TagReadingProtocol, run_many
 from repro.sim.channel import ChannelModel, PERFECT_CHANNEL
 from repro.sim.population import TagPopulation
-from repro.sim.result import AggregateResult, ReadingResult, aggregate
+from repro.sim.result import (
+    AggregateResult,
+    ReadingResult,
+    RunMetrics,
+    aggregate,
+    aggregate_metrics,
+    run_metrics,
+)
 from repro.sim.trace import SessionTrace, SlotEvent, SlotKind
 
 __all__ = [
@@ -33,5 +40,8 @@ __all__ = [
     "TagPopulation",
     "AggregateResult",
     "ReadingResult",
+    "RunMetrics",
     "aggregate",
+    "aggregate_metrics",
+    "run_metrics",
 ]

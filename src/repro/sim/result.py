@@ -80,6 +80,50 @@ class ReadingResult:
 
 
 @dataclass(frozen=True)
+class RunMetrics:
+    """The per-run scalars an :class:`AggregateResult` is computed from.
+
+    This is the unit the result cache stores for *partial* cells (run-seed
+    ranges): six JSON-exact numbers per run.  Because floats round-trip
+    through JSON bit-for-bit and :func:`aggregate` is defined over exactly
+    these values, an aggregate reassembled from cached ranges is identical
+    to one computed from the live :class:`ReadingResult` objects.
+    """
+
+    throughput: float
+    empty_slots: int
+    singleton_slots: int
+    collision_slots: int
+    total_slots: int
+    resolved_from_collision: int
+
+    def to_list(self) -> list:
+        return [self.throughput, self.empty_slots, self.singleton_slots,
+                self.collision_slots, self.total_slots,
+                self.resolved_from_collision]
+
+    @classmethod
+    def from_list(cls, values: list) -> "RunMetrics":
+        throughput, empty, singleton, collision, total, resolved = values
+        return cls(throughput=float(throughput), empty_slots=int(empty),
+                   singleton_slots=int(singleton),
+                   collision_slots=int(collision), total_slots=int(total),
+                   resolved_from_collision=int(resolved))
+
+
+def run_metrics(result: ReadingResult) -> RunMetrics:
+    """Project one session onto the scalars the aggregate depends on."""
+    return RunMetrics(
+        throughput=result.throughput,
+        empty_slots=result.empty_slots,
+        singleton_slots=result.singleton_slots,
+        collision_slots=result.collision_slots,
+        total_slots=result.total_slots,
+        resolved_from_collision=result.resolved_from_collision,
+    )
+
+
+@dataclass(frozen=True)
 class AggregateResult:
     """Mean/stddev of a metric across repeated runs (paper averages 100)."""
 
@@ -108,16 +152,31 @@ def aggregate(results: list[ReadingResult]) -> AggregateResult:
     sizes = {r.n_tags for r in results}
     if len(protocols) != 1 or len(sizes) != 1:
         raise ValueError("results mix protocols or population sizes")
-    throughputs = [r.throughput for r in results]
+    return aggregate_metrics(protocols.pop(), sizes.pop(),
+                             [run_metrics(r) for r in results])
+
+
+def aggregate_metrics(protocol: str, n_tags: int,
+                      values: list[RunMetrics]) -> AggregateResult:
+    """:func:`aggregate` over pre-projected per-run metric vectors.
+
+    ``aggregate`` delegates here, so a cell assembled from cached
+    :class:`RunMetrics` ranges and one computed from live results agree
+    bit-for-bit -- the invariant the planner's partial-batch cache and the
+    executor's prefix reuse rest on.
+    """
+    if not values:
+        raise ValueError("need at least one result to aggregate")
+    throughputs = [v.throughput for v in values]
     return AggregateResult(
-        protocol=protocols.pop(),
-        n_tags=sizes.pop(),
-        runs=len(results),
+        protocol=protocol,
+        n_tags=n_tags,
+        runs=len(values),
         throughput_mean=mean(throughputs),
         throughput_std=stdev(throughputs) if len(throughputs) > 1 else 0.0,
-        empty_mean=mean(r.empty_slots for r in results),
-        singleton_mean=mean(r.singleton_slots for r in results),
-        collision_mean=mean(r.collision_slots for r in results),
-        total_slots_mean=mean(r.total_slots for r in results),
-        resolved_mean=mean(r.resolved_from_collision for r in results),
+        empty_mean=mean(v.empty_slots for v in values),
+        singleton_mean=mean(v.singleton_slots for v in values),
+        collision_mean=mean(v.collision_slots for v in values),
+        total_slots_mean=mean(v.total_slots for v in values),
+        resolved_mean=mean(v.resolved_from_collision for v in values),
     )

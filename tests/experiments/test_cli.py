@@ -29,6 +29,36 @@ class TestParser:
                                     "ablation-energy"}
 
 
+class TestPrecisionFlags:
+    def test_parser_accepts_planner_knobs(self):
+        args = build_parser().parse_args(
+            ["table1", "--precision", "0.05", "--min-runs", "4",
+             "--max-runs", "40"])
+        assert args.precision == 0.05
+        assert args.min_runs == 4
+        assert args.max_runs == 40
+
+    def test_bad_precision_exits_with_a_message(self, capsys):
+        with pytest.raises(SystemExit, match="--precision"):
+            main(["table1", "--smoke", "--precision", "-1"])
+
+    def test_precision_smoke_prints_planner_summary(self, capsys, tmp_path):
+        assert main(["table1", "--smoke", "--no-result-cache",
+                     "--precision", "10.0", "--min-runs", "2",
+                     "--out", str(tmp_path)]) == 0
+        err = capsys.readouterr().err
+        assert "planner:" in err
+        assert "reduction" in err
+
+    def test_planner_events_reach_the_metrics_sink(self, capsys, tmp_path):
+        metrics = tmp_path / "metrics.jsonl"
+        assert main(["table1", "--smoke", "--no-result-cache",
+                     "--precision", "10.0", "--min-runs", "2",
+                     "--metrics-out", str(metrics)]) == 0
+        names = {event.name for event in read_jsonl(metrics)}
+        assert names >= {"planner_batch", "planner_stop"}
+
+
 class TestMain:
     def test_fig3_runs_and_prints(self, capsys):
         assert main(["fig3"]) == 0

@@ -13,6 +13,7 @@ from repro.experiments.executor import (
     ExecutionPlan,
     default_jobs,
     execute_cells,
+    execute_run_metrics,
 )
 from repro.experiments.result_cache import ResultCache
 from repro.experiments.runner import run_cell, sweep
@@ -88,6 +89,56 @@ class TestCellSpec:
         ]
         keys = {base.key()} | {spec.key() for spec in variants}
         assert len(keys) == len(variants) + 1
+
+
+class TestRunStartSlicing:
+    """run_start selects a window of the cell's seed spawn -- the
+    mechanism behind planner batches and cached-prefix resumption."""
+
+    BASE = CellSpec(protocol=Fcat(lam=2), n_tags=100, runs=8, seed=17)
+
+    def test_window_matches_full_run_slice(self):
+        full = execute_run_metrics([self.BASE])[0].values
+        window = execute_run_metrics(
+            [dataclasses.replace(self.BASE, run_start=3, runs=4)])[0].values
+        assert window == full[3:7]
+
+    def test_batched_windows_reassemble_the_full_cell(self):
+        full = execute_run_metrics([self.BASE])[0].values
+        batches = execute_run_metrics(
+            [dataclasses.replace(self.BASE, run_start=start, runs=2)
+             for start in (0, 2, 4, 6)])
+        assert [v for batch in batches for v in batch.values] == full
+
+    def test_run_start_is_part_of_the_content_address(self):
+        shifted = dataclasses.replace(self.BASE, run_start=2)
+        assert shifted.key() != self.BASE.key()
+        # ...but not of the runs-independent range address
+        assert shifted.range_key() == self.BASE.range_key()
+
+    def test_execute_run_metrics_serves_cached_batches(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache.json")
+        cold = execute_run_metrics([self.BASE], cache=cache)[0]
+        assert not cold.cached
+        warm = execute_run_metrics([self.BASE], cache=cache)[0]
+        assert warm.cached
+        assert warm.values == cold.values
+
+    def test_prefix_assembly_completes_a_partial_cell(self, tmp_path):
+        """execute_cells resumes a cell whose prefix is cached as
+        run-range entries, computing only the missing suffix."""
+        cache = ResultCache(tmp_path / "cache.json")
+        prefix_spec = dataclasses.replace(self.BASE, runs=5)
+        execute_run_metrics([prefix_spec], cache=cache)
+        from repro.obs.scope import observe
+        with observe() as observation:
+            (resumed,) = execute_cells([self.BASE], cache=cache)
+        (plain,) = execute_cells([self.BASE])
+        assert_cells_identical(plain, resumed)
+        chunk_runs = sum(event.fields["runs"]
+                         for event in observation.events.events
+                         if event.name == "chunk_done")
+        assert chunk_runs == self.BASE.runs - prefix_spec.runs
 
 
 class TestExecutionPlan:

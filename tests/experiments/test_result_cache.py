@@ -13,6 +13,7 @@ from repro.experiments.result_cache import (
     canonical_fingerprint,
     cell_key,
     package_signature,
+    run_range_key,
 )
 from repro.experiments.runner import run_cell
 from repro.sim.channel import PERFECT_CHANNEL, ChannelModel
@@ -104,6 +105,58 @@ class TestResultCacheRoundTrip:
         path = tmp_path / "cache.json"
         ResultCache(path).save()
         assert not path.exists()
+
+
+class TestRunRangeEntries:
+    """Per-run partials: what the adaptive planner stores and resumes."""
+
+    @staticmethod
+    def _values(start, stop):
+        from repro.sim.result import RunMetrics
+        return [RunMetrics(throughput=float(i), total_slots=i,
+                           empty_slots=0, singleton_slots=i,
+                           collision_slots=0, resolved_from_collision=0)
+                for i in range(start, stop)]
+
+    def test_exact_range_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache.json")
+        cache.store_runs("k", 0, self._values(0, 4))
+        assert cache.lookup_runs("k", 0, 4) == self._values(0, 4)
+        assert cache.run_hits == 1
+        assert cache.lookup_runs("k", 4, 8) is None
+        assert cache.run_misses == 1
+
+    def test_covering_span_serves_sub_ranges(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache.json")
+        cache.store_runs("k", 0, self._values(0, 10))
+        assert cache.lookup_runs("k", 3, 7) == self._values(3, 7)
+
+    def test_prefix_spans_overlapping_batches(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache.json")
+        cache.store_runs("k", 0, self._values(0, 3))
+        cache.store_runs("k", 3, self._values(3, 6))
+        cache.store_runs("k", 2, self._values(2, 8))  # overlaps both
+        cache.store_runs("k", 9, self._values(9, 12))  # gap at 8
+        assert cache.run_prefix("k", 100) == self._values(0, 8)
+        assert cache.run_prefix("k", 5) == self._values(0, 5)
+        assert cache.run_prefix("other", 5) == []
+
+    def test_ranges_survive_a_save_load_cycle(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = ResultCache(path)
+        cache.store_runs("k", 2, self._values(2, 6))
+        cache.save()
+        reloaded = ResultCache(path)
+        assert reloaded.lookup_runs("k", 2, 6) == self._values(2, 6)
+        assert "1 ranges" in reloaded.stats()
+
+    def test_run_range_key_ignores_runs_but_not_engine(self):
+        base = run_range_key(Dfsa(), 100, 1, PERFECT_CHANNEL, ICODE_TIMING)
+        kernel = run_range_key(Dfsa(), 100, 1, PERFECT_CHANNEL, ICODE_TIMING,
+                               engine="kernel")
+        assert base != kernel
+        assert base != cell_key(Dfsa(), 100, 3, 1, PERFECT_CHANNEL,
+                                ICODE_TIMING)
 
 
 class TestPackageSignature:

@@ -49,6 +49,20 @@ class TestSweep:
         with pytest.raises(ValueError, match="DFSA"):
             sweep([Fcat(lam=2), Dfsa(), Dfsa()], [50, 100], runs=1, seed=1)
 
+    def test_duplicate_error_names_every_offending_cell(self):
+        """Regression: the error used to report a bare count, leaving the
+        user to diff the roster by hand.  It must list each colliding
+        (name, N) pair -- and all of them, not just the first."""
+        with pytest.raises(ValueError) as error:
+            sweep([Dfsa(), Dfsa(), Fcat(lam=2), Fcat(lam=2)], [50, 100],
+                  runs=1, seed=1)
+        message = str(error.value)
+        assert "('DFSA', 50)" in message
+        assert "('DFSA', 100)" in message
+        assert "('FCAT-2', 50)" in message
+        assert "('FCAT-2', 100)" in message
+        assert "distinct names" in message
+
     def test_covers_grid(self):
         cells = sweep([Dfsa(), Fcat(lam=2)], [50, 100], runs=1, seed=1)
         assert set(cells) == {("DFSA", 50), ("DFSA", 100),

@@ -147,3 +147,52 @@ class TestRegistryMerge:
         registry.histogram("v", bounds=(1.0,))
         with pytest.raises(ValueError, match="other bounds"):
             registry.histogram("v", bounds=DEFAULT_BUCKETS)
+
+
+class TestHistogramPartitionProperty:
+    """Partitioning a value stream across worker registries must not move
+    the percentiles: whatever batch size the adaptive planner schedules
+    (and whatever order the chunks fold back in), the merged histogram is
+    the single-registry histogram."""
+
+    # A deterministic stream shaped like planner batch telemetry:
+    # rel-half-widths spanning several buckets, with repeats and extremes.
+    VALUES = [((7 * i) % 23) * 0.013 + (0.9 if i % 11 == 0 else 0.0)
+              for i in range(60)]
+
+    @staticmethod
+    def _single(values) -> dict:
+        registry = MetricsRegistry()
+        for value in values:
+            registry.histogram("planner.batch_rel_half_width").observe(value)
+        return registry.snapshot()["histograms"][
+            "planner.batch_rel_half_width"]
+
+    def _merged(self, batch_size: int, reverse: bool = False) -> dict:
+        batches = [self.VALUES[i:i + batch_size]
+                   for i in range(0, len(self.VALUES), batch_size)]
+        if reverse:
+            batches = batches[::-1]
+        parent = MetricsRegistry()
+        for batch in batches:
+            worker = MetricsRegistry()
+            for value in batch:
+                worker.histogram(
+                    "planner.batch_rel_half_width").observe(value)
+            parent.merge(worker)
+        return parent.snapshot()["histograms"][
+            "planner.batch_rel_half_width"]
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 3, 5, 8, 25, 60, 61])
+    def test_percentiles_survive_any_partition(self, batch_size):
+        reference = self._single(self.VALUES)
+        merged = self._merged(batch_size)
+        for key in ("count", "p50", "p90", "p99", "min", "max"):
+            assert merged[key] == reference[key], key
+
+    @pytest.mark.parametrize("batch_size", [2, 5, 25])
+    def test_percentiles_survive_merge_order(self, batch_size):
+        forward = self._merged(batch_size)
+        backward = self._merged(batch_size, reverse=True)
+        for key in ("count", "p50", "p90", "p99", "min", "max"):
+            assert forward[key] == backward[key], key
