@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Benchmark harness for the simulation engines (writes ``BENCH_6.json``).
+"""Benchmark harness for the simulation engines (writes ``BENCH_7.json``).
 
 Times representative cells (FCAT-2/3/4 and DFSA at N in {500, 5000, 10000})
 through both engines -- the scalar per-slot reference and the
@@ -11,7 +11,7 @@ trajectory of the engines and the executor is pinned across PRs::
 
     PYTHONPATH=src python scripts/bench.py                  # full grid
     PYTHONPATH=src python scripts/bench.py --smoke          # CI-sized grid
-    PYTHONPATH=src python scripts/bench.py --jobs 8 --out BENCH_6.json
+    PYTHONPATH=src python scripts/bench.py --jobs 8 --out BENCH_7.json
 
 Speedup accounting: ``kernel_speedup`` is scalar/kernel per cell, both
 engines timed interleaved in one process (best of ``--repeats`` each) so
@@ -32,6 +32,14 @@ sample std, ``k`` the adaptive run count and ``R`` the nominal budget;
 the 95% interval that SD implies.  The section also pins
 ``planner_jobs_invariant``: adaptive results are bit-identical between
 ``jobs=1`` and ``jobs=4``.
+
+Schema 5 adds the ``service`` section: the sharded inventory service
+(``repro.service``) load-driven through its real asyncio HTTP front end
+by ``scripts/serve_demo.py``'s driver.  The full grid inventories a
+1M-tag facility across 20 zones; the section records request-latency
+quantiles from the service's own ``repro.obs`` histograms (the p99 the
+acceptance bar quotes), warm-path accounting and the byte-identity
+verdict of the cold/warm/concurrent passes.
 """
 
 from __future__ import annotations
@@ -65,8 +73,8 @@ from repro.experiments.runner import run_cell, sweep  # noqa: E402
 from repro.obs.scope import observe  # noqa: E402
 from repro.sim.result import aggregate_metrics  # noqa: E402
 
-SCHEMA = "repro-bench/4"
-BENCH_NAME = "BENCH_6"
+SCHEMA = "repro-bench/5"
+BENCH_NAME = "BENCH_7"
 
 #: AggregateResult column -> the per-run RunMetrics field it averages;
 #: the "reported metrics" the planner's within-CI check covers.
@@ -376,10 +384,37 @@ def bench_planner(n_values: list[int], nominal_runs: int, seed: int,
     }
 
 
+def bench_service(n_tags: int, zones: int, requests: int, jobs: int,
+                  seed: int) -> dict:
+    """Load-drive the inventory service through its HTTP front end.
+
+    Delegates to ``scripts/serve_demo.py``'s driver -- the same cold pass,
+    warm pass and concurrent duplicate volley, with the same byte-identity
+    and warm-accounting assertions -- so the benchmark number and the demo
+    measure the identical traffic shape.  Latency quantiles come from the
+    service's ``repro.obs`` histograms via ``/stats``.
+    """
+    import asyncio
+
+    import serve_demo
+
+    args = serve_demo.build_parser().parse_args(
+        ["--n-tags", str(n_tags), "--zones", str(zones),
+         "--requests", str(requests), "--jobs", str(jobs),
+         "--seed", str(seed)])
+    report = asyncio.run(serve_demo.serve_and_drive(args))
+    report["jobs"] = jobs
+    print(f"  service: p99 {report['latency']['p99']:.4f}s over "
+          f"{report['requests']} requests "
+          f"({report['responses_cached']} cache-served), "
+          f"byte-identical={report['byte_identical']}", file=sys.stderr)
+    return report
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        description="Time the simulation engines and write BENCH_6.json")
-    parser.add_argument("--out", type=Path, default=Path("BENCH_6.json"),
+        description="Time the simulation engines and write BENCH_7.json")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_7.json"),
                         help="where to write the JSON artefact")
     parser.add_argument("--jobs", type=int, default=0,
                         help="parallel worker count (0 = all cores)")
@@ -400,11 +435,13 @@ def main(argv: list[str] | None = None) -> int:
         cell_grid, sweep_grid, runs, obs_n = [200, 500], [200, 500], 3, 500
         planner_knobs = {"nominal_runs": 12, "precision": 0.1,
                          "min_runs": 5, "batch_runs": 5}
+        service_knobs = {"n_tags": 20_000, "zones": 16, "requests": 4}
     else:
         cell_grid, sweep_grid, runs, obs_n = [500, 5000, 10000], \
             [500, 5000], args.runs, 10000
         planner_knobs = {"nominal_runs": 100, "precision": 0.01,
                          "min_runs": 25, "batch_runs": 25}
+        service_knobs = {"n_tags": 1_048_576, "zones": 20, "requests": 8}
     cache_path = args.out.with_suffix(".cache.json")
     if cache_path.exists():
         cache_path.unlink()  # the cold leg must actually be cold
@@ -424,6 +461,11 @@ def main(argv: list[str] | None = None) -> int:
           f"precision={planner_knobs['precision']})", file=sys.stderr)
     planner_stats = bench_planner(cell_grid, seed=args.seed + 1, jobs=jobs,
                                   **planner_knobs)
+    print(f"[{BENCH_NAME}] inventory service "
+          f"({service_knobs['n_tags']} tags / {service_knobs['zones']} "
+          f"zones, {service_knobs['requests']} requests)", file=sys.stderr)
+    service_stats = bench_service(jobs=jobs, seed=args.seed + 2,
+                                  **service_knobs)
     payload = {
         "schema": SCHEMA,
         "bench": BENCH_NAME,
@@ -438,6 +480,7 @@ def main(argv: list[str] | None = None) -> int:
         "observability": observability,
         "sweep": sweep_stats,
         "planner": planner_stats,
+        "service": service_stats,
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     kernel_speedups = ", ".join(
@@ -452,6 +495,9 @@ def main(argv: list[str] | None = None) -> int:
           f"planner x{planner_stats['run_reduction']} runs "
           f"(within_ci={planner_stats['within_ci']}, "
           f"jobs-invariant={planner_stats['planner_jobs_invariant']}), "
+          f"service p99 {service_stats['latency']['p99']:.4f}s "
+          f"({service_stats['n_tags']} tags / "
+          f"{service_stats['zones']} zones), "
           f"wrote {args.out}", file=sys.stderr)
     return 0
 

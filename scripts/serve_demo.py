@@ -1,0 +1,214 @@
+#!/usr/bin/env python
+"""Load-drive the inventory service over a facility-scale population.
+
+Boots the asyncio front end in-process on a free port, sustains a burst of
+inventory requests against it (cold pass over distinct facilities, then a
+warm pass re-issuing every one, plus a concurrent duplicate volley), and
+reports request latency quantiles from the service's own ``repro.obs``
+histograms -- the p99 the ISSUE's acceptance bar asks for comes off the
+``/stats`` endpoint, not from client-side stopwatches.
+
+The driver also *checks* while it drives:
+
+* byte-identity: the warm pass must return exactly the cold pass's bytes
+  for every request, and the concurrent volley one single distinct
+  response -- the determinism contract, observed over the real socket;
+* warm accounting: re-issued requests must be served from the response
+  store (``responses_cached`` on ``/stats``), never re-simulated;
+* artefact coherence: with ``--metrics-out``/``--manifest-out`` the event
+  stream and manifest are fetched (in that order) from the live endpoints
+  and must cross-check clean under ``repro.obs.report``.
+
+Default scale is the ISSUE's facility: 1M+ tags over 20 zones.  ``--smoke``
+shrinks everything to CI size.
+
+    PYTHONPATH=src python scripts/serve_demo.py --smoke
+    PYTHONPATH=src python scripts/serve_demo.py --n-tags 1000000 --zones 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.executor import default_jobs  # noqa: E402
+from repro.obs.events import read_jsonl  # noqa: E402
+from repro.obs.manifest import read_manifest  # noqa: E402
+from repro.obs.report import cross_check_manifest  # noqa: E402
+from repro.service.client import http_get, post_inventory  # noqa: E402
+from repro.service.core import InventoryService, ServiceConfig  # noqa: E402
+from repro.service.frontend import ServiceFrontend  # noqa: E402
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="drive request traffic against the inventory service")
+    parser.add_argument("--n-tags", type=int, default=1_048_576,
+                        help="facility tag population (default 1048576)")
+    parser.add_argument("--zones", type=int, default=20,
+                        help="reader zones the population shards across "
+                             "(default 20)")
+    parser.add_argument("--requests", type=int, default=8,
+                        help="distinct facility requests in the burst "
+                             "(default 8; seeds count up from --seed)")
+    parser.add_argument("--concurrency", type=int, default=4,
+                        help="in-flight requests during each pass")
+    parser.add_argument("--duplicates", type=int, default=6,
+                        help="concurrent duplicate volley size for the "
+                             "byte-identity check")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="executor workers per request (0 = all cores)")
+    parser.add_argument("--seed", type=int, default=20100562)
+    parser.add_argument("--overlap", type=float, default=0.15)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: small facility, short burst")
+    parser.add_argument("--json-out", type=Path, default=None,
+                        help="write the load-report JSON here")
+    parser.add_argument("--metrics-out", type=Path, default=None,
+                        help="dump GET /metrics.jsonl to this file")
+    parser.add_argument("--manifest-out", type=Path, default=None,
+                        help="dump the GET /healthz manifest to this file")
+    return parser
+
+
+def _request_body(args: argparse.Namespace, seed: int) -> dict:
+    return {"n_tags": args.n_tags, "zones": args.zones, "seed": seed,
+            "overlap": args.overlap}
+
+
+async def _bounded_gather(limit: int, coroutines: list) -> list:
+    semaphore = asyncio.Semaphore(limit)
+
+    async def bounded(coroutine):
+        async with semaphore:
+            return await coroutine
+
+    return await asyncio.gather(*[bounded(c) for c in coroutines])
+
+
+async def drive(frontend: ServiceFrontend,
+                args: argparse.Namespace) -> dict:
+    host, port = frontend.host, frontend.port
+    bodies = [_request_body(args, args.seed + index)
+              for index in range(args.requests)]
+
+    started = time.perf_counter()
+    cold = await _bounded_gather(args.concurrency, [
+        post_inventory(host, port, body) for body in bodies])
+    cold_s = time.perf_counter() - started
+    for status, _ in cold:
+        assert status == 200, f"cold request failed with {status}"
+    print(f"  cold pass: {len(bodies)} requests in {cold_s:.2f}s",
+          file=sys.stderr)
+
+    started = time.perf_counter()
+    warm = await _bounded_gather(args.concurrency, [
+        post_inventory(host, port, body) for body in bodies])
+    warm_s = time.perf_counter() - started
+    byte_identical = all(w == c for (_, c), (_, w) in zip(cold, warm))
+    assert byte_identical, "warm responses diverged from cold responses"
+    print(f"  warm pass: {len(bodies)} requests in {warm_s:.2f}s, "
+          f"byte-identical to cold", file=sys.stderr)
+
+    volley = await asyncio.gather(*[
+        post_inventory(host, port, bodies[0])
+        for _ in range(args.duplicates)])
+    distinct = {body for _, body in volley}
+    assert len(distinct) == 1, "concurrent duplicates diverged"
+    assert distinct == {cold[0][1]}, "volley diverged from cold response"
+    print(f"  concurrent volley: {args.duplicates} duplicates, "
+          "1 distinct response", file=sys.stderr)
+
+    _, stats_body = await http_get(host, port, "/stats")
+    stats = json.loads(stats_body)
+    expected_warm = len(bodies) + args.duplicates
+    assert stats["responses_cached"] == expected_warm, \
+        (f"expected {expected_warm} cache-served responses, "
+         f"stats says {stats['responses_cached']}")
+
+    latency = stats["metrics"]["histograms"]["request.latency_s"]
+    cold_hist = stats["metrics"]["histograms"]["request.cold_latency_s"]
+    facility = json.loads(cold[0][1])["facility"]
+    report = {
+        "n_tags": args.n_tags,
+        "zones": args.zones,
+        "requests": stats["requests_served"],
+        "responses_cached": stats["responses_cached"],
+        "cold_pass_s": round(cold_s, 4),
+        "warm_pass_s": round(warm_s, 4),
+        "byte_identical": byte_identical,
+        "latency": {key: round(latency[key], 6)
+                    for key in ("count", "mean", "p50", "p90", "p99")},
+        "cold_latency": {key: round(cold_hist[key], 6)
+                         for key in ("count", "mean", "p50", "p90", "p99")},
+        "facility_read_time_s": round(facility["read_time_s"], 2),
+        "facility_throughput": round(facility["throughput"], 1),
+    }
+
+    if args.metrics_out or args.manifest_out:
+        # Order matters: the metrics dump closes with a snapshot the
+        # manifest must count for repro.obs.report to cross-check clean.
+        _, metrics_body = await http_get(host, port, "/metrics.jsonl")
+        _, health_body = await http_get(host, port, "/healthz")
+        if args.metrics_out:
+            args.metrics_out.write_bytes(metrics_body)
+        if args.manifest_out:
+            manifest = json.loads(health_body)["manifest"]
+            args.manifest_out.write_text(
+                json.dumps(manifest, indent=2) + "\n", encoding="utf-8")
+        if args.metrics_out and args.manifest_out:
+            problems = cross_check_manifest(
+                read_jsonl(args.metrics_out),
+                read_manifest(args.manifest_out))
+            assert not problems, f"artefact cross-check: {problems}"
+            print(f"  artefacts cross-check clean: {args.metrics_out}, "
+                  f"{args.manifest_out}", file=sys.stderr)
+    return report
+
+
+async def serve_and_drive(args: argparse.Namespace) -> dict:
+    jobs = args.jobs if args.jobs > 0 else default_jobs()
+    service = InventoryService(ServiceConfig(jobs=jobs))
+    frontend = ServiceFrontend(service, port=0,
+                               workers=max(args.concurrency, 2))
+    await frontend.start()
+    print(f"  service on http://{frontend.host}:{frontend.port} "
+          f"(jobs={jobs})", file=sys.stderr)
+    try:
+        return await drive(frontend, args)
+    finally:
+        await frontend.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.smoke:
+        args.n_tags = min(args.n_tags, 20_000)
+        args.zones = min(args.zones, 16)
+        args.requests = min(args.requests, 4)
+        args.duplicates = min(args.duplicates, 4)
+    if args.n_tags < args.zones:
+        raise SystemExit("--n-tags must be >= --zones")
+    print(f"[serve_demo] facility: {args.n_tags} tags, {args.zones} zones, "
+          f"{args.requests} distinct requests", file=sys.stderr)
+    report = asyncio.run(serve_and_drive(args))
+    if args.json_out:
+        args.json_out.write_text(json.dumps(report, indent=2) + "\n",
+                                 encoding="utf-8")
+    print(f"[serve_demo] p99 latency {report['latency']['p99']:.4f}s "
+          f"(cold p99 {report['cold_latency']['p99']:.4f}s) over "
+          f"{report['requests']} requests, "
+          f"{report['responses_cached']} cache-served; facility read "
+          f"{report['facility_read_time_s']}s at "
+          f"{report['facility_throughput']} tags/s", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -93,6 +93,12 @@ class LintConfig:
         "repro/obs/metrics.py",
         "repro/obs/report.py",
         "repro/obs/scope.py",
+        "repro/service/client.py",
+        "repro/service/core.py",
+        "repro/service/frontend.py",
+        "repro/service/interference.py",
+        "repro/service/requests.py",
+        "repro/service/sharding.py",
     )
 
     # --- R5: units/dimension analysis -----------------------------------
@@ -130,6 +136,10 @@ class LintConfig:
         "repro.inventory.scheduling:run_parallel_round",
         "repro.inventory.zones:Warehouse.random_layout",
         "repro.phy.anc:alice_bob_exchange",
+        # The inventory service's request entry point: every request flows
+        # into the seeded executor fan-out (cell seeds derive from the
+        # request seed by SERVICE_CELL_STRIDE).
+        "repro.service.core:InventoryService.handle",
     )
 
     # --- R8: experiment-registry completeness ----------------------------
@@ -162,6 +172,9 @@ class LintConfig:
         # The planner loop: pool workers fork from the parent mid-round,
         # so everything its frame reaches crosses the fork boundary too.
         "repro.experiments.planner:plan_cells",
+        # The service computes under an installed observe() scope and a
+        # held compute lock; its executor fan-out forks from that frame.
+        "repro.service.core:InventoryService._compute",
     )
     #: Module globals (``module.dotted:name``) audited as fork-safe: either
     #: re-initialized per worker or merged back through ChunkOutcome.

@@ -60,15 +60,64 @@ class Warehouse:
             seen_once |= location.covered_ids
         return len(seen_twice) / len(total)
 
+    def coverage_counts(self) -> dict[int, int]:
+        """How many locations hear each tag (1 = exclusive, 2+ = overlap)."""
+        counts: dict[int, int] = {}
+        for location in self.locations:
+            for tag_id in location.covered_ids:
+                counts[tag_id] = counts.get(tag_id, 0) + 1
+        return counts
+
+    def overlap_pairs(self) -> dict[tuple[str, str], int]:
+        """Shared-tag counts per interfering location pair.
+
+        Keys are ``(name_a, name_b)`` in roster order; only pairs whose
+        coverage actually intersects appear, so the keys are exactly the
+        edges of :func:`repro.inventory.scheduling.interference_graph` and
+        the values are the edge weights an interference model needs.
+        """
+        pairs: dict[tuple[str, str], int] = {}
+        for i, first in enumerate(self.locations):
+            for second in self.locations[i + 1:]:
+                shared = len(first.covered_ids & second.covered_ids)
+                if shared:
+                    pairs[(first.name, second.name)] = shared
+        return pairs
+
+    def overlap_fraction_between(self, name_a: str, name_b: str) -> float:
+        """Shared tags of the pair over the first location's coverage.
+
+        The asymmetric load ``|A ∩ B| / |A|``: the fraction of ``name_a``'s
+        interrogation zone garbled when ``name_b`` reads concurrently.
+        """
+        by_name = {location.name: location for location in self.locations}
+        try:
+            first, second = by_name[name_a], by_name[name_b]
+        except KeyError as error:
+            raise KeyError(f"unknown reader location {error.args[0]!r}")
+        if not first.covered_ids:
+            return 0.0
+        return len(first.covered_ids & second.covered_ids) \
+            / len(first.covered_ids)
+
     @classmethod
     def random_layout(cls, population: TagPopulation, n_locations: int,
                       rng: np.random.Generator,
-                      overlap: float = 0.15) -> "Warehouse":
+                      overlap: float = 0.15,
+                      wrap: bool = False) -> "Warehouse":
         """Split a population into ``n_locations`` contiguous zones.
 
-        Each zone additionally hears ``overlap`` of its neighbours' tags
+        Each zone additionally hears ``overlap`` of its successor's tags
         (readers at zone boundaries pick up both sides) so the merge step
-        has real duplicates to discard.
+        has real duplicates to discard.  With ``wrap=True`` the layout is a
+        closed ring -- the last zone also hears the head of the first --
+        which makes every zone overlap a neighbour and gives the
+        interference graph a cycle instead of a path (the aisle-loop
+        deployments the multi-reader scheduler shards).
+
+        The seed code assumed an open chain, so the final location could
+        never share coverage; the ring form is what
+        :mod:`repro.service.sharding` mirrors at facility scale.
         """
         if n_locations < 1:
             raise ValueError("n_locations must be >= 1")
@@ -80,8 +129,11 @@ class Warehouse:
         locations = []
         for index, chunk in enumerate(chunks):
             covered = {ids[i] for i in chunk}
-            if overlap and index + 1 < n_locations:
-                neighbour = chunks[index + 1]
+            successor = index + 1
+            if wrap and n_locations > 1:
+                successor %= n_locations
+            if overlap and successor != index and successor < n_locations:
+                neighbour = chunks[successor]
                 borrow = neighbour[: max(int(len(neighbour) * overlap), 0)]
                 covered |= {ids[i] for i in borrow}
             locations.append(ReaderLocation(name=f"location-{index}",

@@ -109,6 +109,18 @@ EVENT_SCHEMA: dict[str, EventSpec] = {
                           reason="str", runs_used="int", nominal_runs="int",
                           simulated_runs="int", cached_runs="int",
                           mean="float", rel_half_width="float"),
+    # Inventory service: one request entered the compute lane.
+    "request_start": _spec(key="str", n_tags="int", zones="int",
+                           seed="int"),
+    # Inventory service: a request was answered (``cached`` marks the
+    # warm path -- response bytes served without touching the executor).
+    "request_done": _spec(key="str", elapsed_s="float", cached="bool"),
+    # Inventory service: the shard schedule a request compiled to.
+    "shard_plan": _spec(key="str", zones="int", phases="int",
+                        distinct_cells="int", interfered_zones="int"),
+    # Inventory service: one zone's reading session accounted for.
+    "shard_done": _spec(key="str", zone="str", n_tags="int", phase="int",
+                        frame_size="int", interference_load="float"),
     # Final registry snapshot, appended as the last line of a JSONL sink.
     "metrics_snapshot": _spec(metrics="mapping"),
 }

@@ -1,0 +1,85 @@
+"""``python -m repro.service``: boot the inventory service.
+
+Binds the asyncio front end on ``--host``/``--port`` and serves until
+interrupted.  ``--port 0`` picks a free port and prints it -- the smoke
+and demo drivers use that to avoid fixed-port collisions in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+from pathlib import Path
+
+from repro.experiments.executor import default_jobs
+from repro.experiments.result_cache import ResultCache
+from repro.service.core import InventoryService, ServiceConfig
+from repro.service.frontend import ServiceFrontend
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="multi-reader sharded inventory service")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8423,
+                        help="bind port; 0 picks a free one (default 8423)")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="worker processes for each request's executor "
+                             f"fan-out (0 = all cores, here {default_jobs()})")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="front-end threads accepting requests "
+                             "(default 4); compute itself is one lane")
+    parser.add_argument("--no-result-cache", action="store_true",
+                        help="recompute every zone cell instead of serving "
+                             "warm ones from .repro-results-cache.json")
+    parser.add_argument("--result-cache", type=Path, default=None,
+                        help="path of the result-cache file (default: "
+                             "./.repro-results-cache.json)")
+    return parser
+
+
+def build_frontend(args: argparse.Namespace) -> ServiceFrontend:
+    jobs = default_jobs() if args.jobs == 0 else args.jobs
+    if jobs < 1:
+        raise SystemExit(f"--jobs must be >= 0, got {args.jobs}")
+    cache = None
+    if not args.no_result_cache:
+        cache = ResultCache(args.result_cache) if args.result_cache \
+            else ResultCache()
+    service = InventoryService(ServiceConfig(jobs=jobs, cache=cache))
+    try:
+        return ServiceFrontend(service, host=args.host, port=args.port,
+                               workers=args.workers)
+    except ValueError as error:
+        raise SystemExit(f"--workers: {error}") from None
+
+
+async def _serve(frontend: ServiceFrontend) -> None:
+    await frontend.start()
+    print(f"repro.service listening on "
+          f"http://{frontend.host}:{frontend.port} "
+          f"(jobs={frontend.service.config.jobs})", flush=True)
+    try:
+        await frontend.serve_forever()
+    finally:
+        await frontend.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    frontend = build_frontend(args)
+    try:
+        asyncio.run(_serve(frontend))
+    except KeyboardInterrupt:
+        print("repro.service: shutting down", flush=True)
+    finally:
+        cache = frontend.service.config.cache
+        if cache is not None:
+            cache.save()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

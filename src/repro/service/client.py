@@ -1,0 +1,66 @@
+"""A minimal asyncio client for the inventory service.
+
+The load driver (``scripts/serve_demo.py``), the CI smoke step and the
+front-end tests all talk to the service through these two calls; like the
+server they speak plain HTTP/1.1 over ``asyncio.open_connection`` --
+one request per connection, ``Connection: close`` -- so the raw response
+bytes come back exactly as the service encoded them and byte-identity
+checks can compare them directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+__all__ = [
+    "http_get",
+    "post_inventory",
+]
+
+
+async def _exchange(host: str, port: int, head: str,
+                    body: bytes = b"") -> tuple[int, bytes]:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(head.encode("ascii") + body)
+        await writer.drain()
+        status_line = (await reader.readline()).decode("latin-1")
+        parts = status_line.split(maxsplit=2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ConnectionError(f"malformed status line: {status_line!r}")
+        status = int(parts[1])
+        content_length: int | None = None
+        while True:
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                content_length = int(value.strip())
+        payload = await (reader.readexactly(content_length)
+                         if content_length is not None else reader.read())
+        return status, payload
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def post_inventory(host: str, port: int,
+                         request: dict) -> tuple[int, bytes]:
+    """POST one inventory request; returns ``(status, raw response bytes)``."""
+    body = json.dumps(request).encode("utf-8")
+    head = (f"POST /inventory HTTP/1.1\r\nHost: {host}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n")
+    return await _exchange(host, port, head, body)
+
+
+async def http_get(host: str, port: int, path: str) -> tuple[int, bytes]:
+    """GET a service endpoint; returns ``(status, raw response bytes)``."""
+    head = (f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+            f"Connection: close\r\n\r\n")
+    return await _exchange(host, port, head)

@@ -1,0 +1,106 @@
+"""Reader-to-reader interference as a per-slot error process.
+
+Two readers whose interrogation zones overlap and who read *concurrently*
+garble each other's sessions: a tag in the overlap hears two advertisements
+and answers both, so its slot in either session carries a superposition the
+ANC decoder was never meant to see (the scheduling layer's rationale for
+phase-separating such readers).  When the facility cannot afford enough
+phases -- ``max_phases`` below the interference graph's chromatic number --
+some overlap runs concurrently anyway, and this module maps that *residual
+overlap load* onto the existing per-slot :class:`~repro.sim.channel.
+ChannelModel` Bernoulli knobs:
+
+* a singleton from a shared tag collides with its answer in the other
+  session -> the CRC rejects it (``singleton_corrupt_prob``);
+* a collision record polluted by out-of-zone energy never resolves
+  (``collision_unusable_prob``);
+* an acknowledgement may be drowned by the neighbouring reader's carrier
+  (``ack_loss_prob``).
+
+The load of a zone is the fraction of its coverage shared with zones
+active in the same phase; the mapping is deterministic (no draws happen
+here -- the channel itself draws inside the simulators), so the same shard
+plan always yields the same channels and the service's byte-identical
+response contract survives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.channel import ChannelModel
+
+__all__ = [
+    "DEFAULT_INTERFERENCE",
+    "InterferenceModel",
+]
+
+
+@dataclass(frozen=True)
+class InterferenceModel:
+    """Deterministic map from residual overlap load to channel errors.
+
+    Each coefficient scales the load (fraction of a zone's tags shared
+    with concurrently active zones, in ``[0, 1]``) into the matching
+    Bernoulli probability, clamped to ``cap`` so a fully-overlapped zone
+    still terminates (the protocols retry corrupted singletons forever at
+    probability 1).
+    """
+
+    #: Load multiplier for singleton CRC failures.
+    singleton_corrupt_coeff: float = 0.5
+    #: Load multiplier for unresolvable collision records.
+    collision_unusable_coeff: float = 0.8
+    #: Load multiplier for lost acknowledgements.
+    ack_loss_coeff: float = 0.2
+    #: Upper clamp on every derived probability.
+    cap: float = 0.6
+
+    def __post_init__(self) -> None:
+        for name in ("singleton_corrupt_coeff", "collision_unusable_coeff",
+                     "ack_loss_coeff"):
+            if getattr(self, name) < 0.0:
+                raise ValueError(f"{name} must be >= 0")
+        if not 0.0 <= self.cap < 1.0:
+            raise ValueError("cap must be in [0, 1)")
+
+    def _scale(self, coeff: float, load: float) -> float:
+        return min(coeff * load, self.cap)
+
+    def channel_for_load(self, load: float,
+                         base: ChannelModel | None = None) -> ChannelModel:
+        """The channel a zone experiences under ``load`` residual overlap.
+
+        ``base`` carries ambient (non-interference) impairments; the
+        interference contribution composes with it as independent error
+        sources: ``1 - (1-p_base)(1-p_interference)``.  A zero load
+        returns ``base`` itself, so interference-free shard plans keep the
+        exact channel object (and therefore the exact cache keys) the
+        plain executor path uses.
+        """
+        if not 0.0 <= load <= 1.0:
+            raise ValueError(f"load must be in [0, 1], got {load}")
+        if base is None:
+            base = ChannelModel()
+        if load == 0.0:
+            return base
+
+        def compose(p_base: float, p_extra: float) -> float:
+            return 1.0 - (1.0 - p_base) * (1.0 - p_extra)
+
+        return ChannelModel(
+            singleton_corrupt_prob=compose(
+                base.singleton_corrupt_prob,
+                self._scale(self.singleton_corrupt_coeff, load)),
+            ack_loss_prob=compose(
+                base.ack_loss_prob,
+                self._scale(self.ack_loss_coeff, load)),
+            collision_unusable_prob=compose(
+                base.collision_unusable_prob,
+                self._scale(self.collision_unusable_coeff, load)),
+            capture_prob=base.capture_prob,
+        )
+
+
+#: The calibration the service uses unless a request overrides it.
+DEFAULT_INTERFERENCE = InterferenceModel()

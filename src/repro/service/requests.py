@@ -1,0 +1,133 @@
+"""Inventory request/response schema and the canonical request address.
+
+A request names a facility (tag count, zone count, overlap geometry), the
+readers (ANC capability, runs per zone, engine) and a seed; everything a
+response depends on lives in these fields, so a request has a *content
+address* -- the SHA-256 of its canonical JSON rendering, built on the same
+:func:`repro.experiments.result_cache.canonical_fingerprint` machinery the
+cell cache keys use.  The service's warm path stores encoded responses
+under this address, and its determinism contract is stated in terms of it:
+same address in, same bytes out, whoever and whenever serves it.
+
+Responses are rendered by :func:`encode_response`: sorted keys, exact
+``repr`` floats (Python's ``json`` round-trips them), a trailing newline,
+no timestamps -- every field is a pure function of the request.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.experiments.result_cache import canonical_fingerprint
+from repro.kernels.engine import ENGINES
+from repro.sim.channel import ChannelModel
+
+__all__ = [
+    "InventoryRequest",
+    "encode_response",
+    "request_from_dict",
+]
+
+#: Fields a request dict may carry (everything else is rejected early).
+_REQUEST_FIELDS = ("n_tags", "zones", "seed", "runs", "lam", "overlap",
+                   "max_phases", "engine", "precision", "channel")
+
+
+@dataclass(frozen=True)
+class InventoryRequest:
+    """One facility inventory request, fully specifying its response."""
+
+    #: Facility tag population to inventory.
+    n_tags: int
+    #: Reader/zone count the population shards across.
+    zones: int
+    #: Root seed; every zone cell seed derives from it deterministically.
+    seed: int
+    #: Monte-Carlo runs per zone cell.
+    runs: int = 1
+    #: ANC capability λ of the zone readers (MPR capability m).
+    lam: int = 2
+    #: Fraction of each zone's successor it also hears (ring geometry).
+    overlap: float = 0.15
+    #: Cap on schedule length; ``None`` allows a proper coloring.
+    max_phases: int | None = None
+    #: Simulation engine: ``"kernel"`` (default) or ``"scalar"``.
+    engine: str = "kernel"
+    #: Optional adaptive-planner precision; ``None`` runs the full budget.
+    precision: float | None = None
+    #: Ambient (non-interference) channel impairments.
+    channel: ChannelModel = field(default_factory=ChannelModel)
+
+    def __post_init__(self) -> None:
+        if self.n_tags < 1:
+            raise ValueError("n_tags must be >= 1")
+        if self.zones < 1:
+            raise ValueError("zones must be >= 1")
+        if self.runs < 1:
+            raise ValueError("runs must be >= 1")
+        if self.lam < 2:
+            raise ValueError("lam must be >= 2 (FCAT's ANC floor)")
+        if not 0.0 <= self.overlap < 1.0:
+            raise ValueError("overlap must be in [0, 1)")
+        if self.max_phases is not None and self.max_phases < 1:
+            raise ValueError("max_phases must be >= 1 or null")
+        if self.engine not in ENGINES:
+            raise ValueError(f"engine must be one of {', '.join(ENGINES)}")
+        if self.precision is not None and self.precision <= 0:
+            raise ValueError("precision must be > 0 or null")
+
+    def key(self) -> str:
+        """The request's content address (SHA-256 of its canonical form)."""
+        payload = json.dumps({"kind": "inventory-request",
+                              **canonical_fingerprint(asdict(self))},
+                             sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> dict:
+        """JSON-able form; the channel flattens to its four knobs."""
+        payload = asdict(self)
+        payload["channel"] = asdict(self.channel)
+        return payload
+
+
+def request_from_dict(payload: dict) -> InventoryRequest:
+    """Parse and validate a request body; raises ``ValueError`` on junk."""
+    if not isinstance(payload, dict):
+        raise ValueError("request body must be a JSON object")
+    unknown = sorted(set(payload) - set(_REQUEST_FIELDS))
+    if unknown:
+        raise ValueError(f"unknown request field(s): {', '.join(unknown)}")
+    missing = [name for name in ("n_tags", "zones", "seed")
+               if name not in payload]
+    if missing:
+        raise ValueError(f"missing request field(s): {', '.join(missing)}")
+    fields = dict(payload)
+    channel = fields.pop("channel", None)
+    if channel is not None:
+        if not isinstance(channel, dict):
+            raise ValueError("channel must be a JSON object of error knobs")
+        try:
+            fields["channel"] = ChannelModel(**channel)
+        except TypeError as error:
+            raise ValueError(f"bad channel knobs: {error}") from None
+    for name in ("n_tags", "zones", "seed", "runs", "lam"):
+        if name in fields and not isinstance(fields[name], int):
+            raise ValueError(f"{name} must be an integer")
+    try:
+        return InventoryRequest(**fields)
+    except TypeError as error:
+        raise ValueError(f"bad request: {error}") from None
+
+
+def encode_response(payload: dict) -> bytes:
+    """Render a response payload to its canonical bytes.
+
+    Sorted keys and a fixed separator style make the rendering a pure
+    function of the payload's value; the payload itself is a pure function
+    of the request, so the encoded bytes are the determinism contract's
+    unit of comparison.
+    """
+    return (json.dumps(payload, sort_keys=True, separators=(", ", ": "))
+            + "\n").encode("utf-8")

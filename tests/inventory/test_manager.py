@@ -1,0 +1,77 @@
+"""Inventory rounds and manifest reconciliation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.dfsa import Dfsa
+from repro.core import Fcat
+from repro.inventory.manager import (
+    InventoryReport,
+    reconcile,
+    run_inventory_round,
+)
+from repro.inventory.zones import ReaderLocation, Warehouse
+from repro.sim.population import TagPopulation
+
+
+def _layout(n_tags: int, locations: int, seed: int,
+            overlap: float = 0.2) -> Warehouse:
+    rng = np.random.default_rng(seed)
+    population = TagPopulation.random(n_tags, rng)
+    return Warehouse.random_layout(population, locations, rng,
+                                   overlap=overlap)
+
+
+def test_round_merges_every_location_and_discards_duplicates():
+    warehouse = _layout(150, 3, seed=2)
+    inventory = run_inventory_round(warehouse, Fcat(lam=2),
+                                    np.random.default_rng(9))
+    assert inventory.observed_ids == warehouse.all_ids
+    assert len(inventory.results) == 3
+    expected_duplicates = sum(
+        count - 1 for count in warehouse.coverage_counts().values())
+    assert inventory.duplicates_discarded == expected_duplicates
+
+
+def test_round_duration_sums_locations_and_throughput_uses_unique_ids():
+    warehouse = _layout(120, 2, seed=4)
+    inventory = run_inventory_round(warehouse, Dfsa(),
+                                    np.random.default_rng(5))
+    assert inventory.total_duration_s == pytest.approx(
+        sum(result.duration_s for result in inventory.results))
+    assert inventory.throughput == pytest.approx(
+        len(inventory.observed_ids) / inventory.total_duration_s)
+    assert "unique tags" in inventory.summary()
+
+
+def test_reconcile_clean_round_trip():
+    warehouse = _layout(100, 2, seed=6)
+    inventory = run_inventory_round(warehouse, Fcat(lam=2),
+                                    np.random.default_rng(1))
+    report = reconcile(warehouse.all_ids, inventory)
+    assert report.clean
+    assert report.missing == frozenset()
+    assert report.unexpected == frozenset()
+    assert "reconciles" in report.summary()
+
+
+def test_reconcile_flags_missing_and_unexpected():
+    report = InventoryReport(expected=frozenset({1, 2, 3}),
+                             observed=frozenset({2, 3, 4}))
+    assert report.missing == frozenset({1})
+    assert report.unexpected == frozenset({4})
+    assert not report.clean
+    assert "missing" in report.summary()
+
+
+def test_manifest_diff_through_run_inventory_round():
+    warehouse = _layout(80, 2, seed=8)
+    inventory = run_inventory_round(warehouse, Fcat(lam=2),
+                                    np.random.default_rng(3))
+    stolen = sorted(warehouse.all_ids)[0]
+    manifest = set(warehouse.all_ids) | {999_999}
+    report = reconcile(manifest, inventory)
+    assert 999_999 in report.missing
+    assert stolen not in report.missing

@@ -1,0 +1,122 @@
+"""Reader locations, warehouse layouts and the overlap semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.inventory.zones import ReaderLocation, Warehouse
+from repro.sim.population import TagPopulation
+
+
+def _warehouse(*coverages: set[int]) -> Warehouse:
+    return Warehouse([
+        ReaderLocation(name=f"loc-{index}", covered_ids=frozenset(ids))
+        for index, ids in enumerate(coverages)])
+
+
+def test_location_population_is_sorted_coverage():
+    location = ReaderLocation(name="a", covered_ids=frozenset({5, 3, 9}))
+    assert list(location.population().ids) == [3, 5, 9]
+    assert len(location) == 3
+
+
+def test_warehouse_requires_locations_and_distinct_names():
+    with pytest.raises(ValueError, match="at least one"):
+        Warehouse([])
+    duplicate = ReaderLocation(name="a", covered_ids=frozenset({1}))
+    with pytest.raises(ValueError, match="distinct"):
+        Warehouse([duplicate, duplicate])
+
+
+def test_all_ids_unions_coverage():
+    warehouse = _warehouse({1, 2}, {2, 3}, {4})
+    assert warehouse.all_ids == frozenset({1, 2, 3, 4})
+
+
+def test_overlap_fraction_counts_multiply_covered_tags_once():
+    # Tag 2 is heard by all three locations but contributes once.
+    warehouse = _warehouse({1, 2}, {2, 3}, {2})
+    assert warehouse.uncovered_overlap_fraction == pytest.approx(1 / 3)
+
+
+def test_coverage_counts_reports_overlap_degree():
+    warehouse = _warehouse({1, 2}, {2, 3}, {2})
+    assert warehouse.coverage_counts() == {1: 1, 2: 3, 3: 1}
+
+
+def test_overlap_pairs_match_pairwise_intersections():
+    warehouse = _warehouse({1, 2, 3}, {3, 4}, {4, 5}, {9})
+    assert warehouse.overlap_pairs() == {
+        ("loc-0", "loc-1"): 1,
+        ("loc-1", "loc-2"): 1,
+    }
+
+
+def test_overlap_fraction_between_is_asymmetric():
+    warehouse = _warehouse({1, 2, 3, 4}, {4, 5})
+    assert warehouse.overlap_fraction_between("loc-0", "loc-1") \
+        == pytest.approx(1 / 4)
+    assert warehouse.overlap_fraction_between("loc-1", "loc-0") \
+        == pytest.approx(1 / 2)
+    with pytest.raises(KeyError):
+        warehouse.overlap_fraction_between("loc-0", "nope")
+
+
+def test_random_layout_covers_population_exactly():
+    rng = np.random.default_rng(7)
+    population = TagPopulation.random(120, rng)
+    warehouse = Warehouse.random_layout(population, 4, rng, overlap=0.2)
+    assert warehouse.all_ids == frozenset(population.ids)
+    assert len(warehouse.locations) == 4
+
+
+def test_random_layout_open_chain_leaves_last_zone_exclusive():
+    rng = np.random.default_rng(11)
+    population = TagPopulation.random(100, rng)
+    warehouse = Warehouse.random_layout(population, 5, rng, overlap=0.3)
+    pairs = warehouse.overlap_pairs()
+    # Chain topology: consecutive zones overlap, the ring edge is absent.
+    assert ("location-0", "location-4") not in pairs
+    assert ("location-3", "location-4") in pairs
+
+
+def test_random_layout_wrap_closes_the_ring():
+    rng = np.random.default_rng(11)
+    population = TagPopulation.random(100, rng)
+    warehouse = Warehouse.random_layout(population, 5, rng, overlap=0.3,
+                                        wrap=True)
+    pairs = warehouse.overlap_pairs()
+    assert ("location-0", "location-4") in pairs  # last hears the head
+    # Every zone now interferes with at least one neighbour.
+    touched = {name for pair in pairs for name in pair}
+    assert touched == {location.name for location in warehouse.locations}
+
+
+def test_random_layout_wrap_false_unchanged_by_the_wrap_knob():
+    rng_a = np.random.default_rng(3)
+    population = TagPopulation.random(80, rng_a)
+    chain = Warehouse.random_layout(population, 4,
+                                    np.random.default_rng(5), overlap=0.25)
+    default = Warehouse.random_layout(population, 4,
+                                      np.random.default_rng(5), overlap=0.25)
+    assert [loc.covered_ids for loc in chain.locations] \
+        == [loc.covered_ids for loc in default.locations]
+
+
+def test_random_layout_zero_overlap_is_a_partition():
+    rng = np.random.default_rng(23)
+    population = TagPopulation.random(90, rng)
+    warehouse = Warehouse.random_layout(population, 6, rng, overlap=0.0,
+                                        wrap=True)
+    assert warehouse.uncovered_overlap_fraction == 0.0
+    assert warehouse.overlap_pairs() == {}
+
+
+def test_random_layout_validates_arguments():
+    rng = np.random.default_rng(1)
+    population = TagPopulation.random(10, rng)
+    with pytest.raises(ValueError, match="n_locations"):
+        Warehouse.random_layout(population, 0, rng)
+    with pytest.raises(ValueError, match="overlap"):
+        Warehouse.random_layout(population, 2, rng, overlap=1.0)

@@ -1,0 +1,62 @@
+"""The load -> channel mapping: composition, clamping, identity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.interference import DEFAULT_INTERFERENCE, InterferenceModel
+from repro.sim.channel import ChannelModel
+
+
+def test_zero_load_returns_base_object():
+    base = ChannelModel(singleton_corrupt_prob=0.1)
+    assert DEFAULT_INTERFERENCE.channel_for_load(0.0, base) is base
+
+
+def test_load_scales_each_knob_by_its_coefficient():
+    model = InterferenceModel(singleton_corrupt_coeff=0.5,
+                              collision_unusable_coeff=0.8,
+                              ack_loss_coeff=0.2, cap=0.9)
+    channel = model.channel_for_load(0.5)
+    assert channel.singleton_corrupt_prob == pytest.approx(0.25)
+    assert channel.collision_unusable_prob == pytest.approx(0.4)
+    assert channel.ack_loss_prob == pytest.approx(0.1)
+    assert channel.capture_prob == 0.0
+
+
+def test_composes_with_base_as_independent_error_sources():
+    base = ChannelModel(singleton_corrupt_prob=0.2)
+    model = InterferenceModel(singleton_corrupt_coeff=0.5, cap=0.9)
+    channel = model.channel_for_load(1.0, base)
+    # 1 - (1 - 0.2)(1 - 0.5)
+    assert channel.singleton_corrupt_prob == pytest.approx(0.6)
+
+
+def test_cap_clamps_fully_loaded_zone():
+    channel = DEFAULT_INTERFERENCE.channel_for_load(1.0)
+    cap = DEFAULT_INTERFERENCE.cap
+    assert channel.singleton_corrupt_prob <= cap
+    assert channel.collision_unusable_prob <= cap
+    assert channel.ack_loss_prob <= cap
+
+
+def test_same_load_same_channel():
+    assert DEFAULT_INTERFERENCE.channel_for_load(0.3) \
+        == DEFAULT_INTERFERENCE.channel_for_load(0.3)
+
+
+def test_load_outside_unit_interval_rejected():
+    with pytest.raises(ValueError, match="load"):
+        DEFAULT_INTERFERENCE.channel_for_load(-0.1)
+    with pytest.raises(ValueError, match="load"):
+        DEFAULT_INTERFERENCE.channel_for_load(1.5)
+
+
+def test_negative_coefficient_rejected():
+    with pytest.raises(ValueError, match="ack_loss_coeff"):
+        InterferenceModel(ack_loss_coeff=-0.5)
+
+
+def test_cap_must_leave_room_to_terminate():
+    with pytest.raises(ValueError, match="cap"):
+        InterferenceModel(cap=1.0)

@@ -1,0 +1,174 @@
+"""MPR frame sizing and the facility shard scheduler."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.service.interference import InterferenceModel
+from repro.service.sharding import (
+    mpr_optimal_frame_size,
+    mpr_reads_per_slot,
+    plan_shards,
+)
+from repro.sim.channel import ChannelModel
+
+
+# -- mpr_reads_per_slot ----------------------------------------------------
+
+def test_single_reception_matches_binomial_singleton_mean():
+    # m = 1: E[reads/slot] = P[occupancy = 1] = n/L (1 - 1/L)^(n-1).
+    n, L = 40, 64
+    expected = (n / L) * (1 - 1 / L) ** (n - 1)
+    assert mpr_reads_per_slot(n, L, 1) == pytest.approx(expected, rel=1e-12)
+
+
+def test_higher_capability_never_reads_fewer():
+    for L in (8, 32, 128):
+        assert mpr_reads_per_slot(50, L, 2) > mpr_reads_per_slot(50, L, 1)
+        assert mpr_reads_per_slot(50, L, 4) > mpr_reads_per_slot(50, L, 2)
+
+
+def test_degenerate_frame_and_population():
+    assert mpr_reads_per_slot(0, 10, 2) == 0.0
+    # One slot: every tag lands there; readable iff n <= m.
+    assert mpr_reads_per_slot(2, 1, 2) == 2.0
+    assert mpr_reads_per_slot(3, 1, 2) == 0.0
+
+
+def test_reads_per_slot_stable_at_facility_scale():
+    # The forward recurrence must not overflow where factorials would.
+    value = mpr_reads_per_slot(1_000_000, 500_000, 4)
+    assert 0.0 < value < 4.0
+    assert math.isfinite(value)
+
+
+# -- mpr_optimal_frame_size ------------------------------------------------
+
+def test_classical_fsa_optimum_is_near_population_size():
+    # m = 1 recovers L* ~ n (slot efficiency 1/e).
+    n = 200
+    best = mpr_optimal_frame_size(n, 1)
+    assert 0.9 * n <= best <= 1.1 * n
+    efficiency = mpr_reads_per_slot(n, best, 1)
+    assert efficiency == pytest.approx(1 / math.e, rel=0.05)
+
+
+def test_mpr_shifts_optimum_to_shorter_frames():
+    n = 500
+    frames = [mpr_optimal_frame_size(n, m) for m in (1, 2, 4)]
+    assert frames[0] > frames[1] > frames[2]
+
+
+def test_mpr_capability_raises_slot_efficiency():
+    n = 500
+    eff = [mpr_reads_per_slot(n, mpr_optimal_frame_size(n, m), m)
+           for m in (1, 2, 4)]
+    assert eff[0] < eff[1] < eff[2]
+
+
+def test_optimal_frame_validates_inputs():
+    with pytest.raises(ValueError):
+        mpr_optimal_frame_size(0, 2)
+    with pytest.raises(ValueError):
+        mpr_optimal_frame_size(100, 0)
+
+
+# -- plan_shards -----------------------------------------------------------
+
+def test_exclusive_split_conserves_population():
+    plan = plan_shards(10_007, 16, overlap=0.2)
+    assert sum(zone.exclusive_tags for zone in plan.zones) == 10_007
+    assert plan.facility_tags == 10_007
+
+
+def test_ring_overlap_pairs_close_the_ring():
+    plan = plan_shards(16_000, 16, overlap=0.2)
+    assert len(plan.overlap_pairs) == 16
+    assert (15, 0, plan.overlap_pairs[-1][2]) == plan.overlap_pairs[-1]
+    for left, right, count in plan.overlap_pairs:
+        assert right == (left + 1) % 16
+        assert count > 0
+
+
+def test_even_ring_two_phases_no_interference():
+    plan = plan_shards(8_000, 16, overlap=0.2)
+    assert plan.n_phases == 2
+    assert plan.interfered_zones == 0
+    # Neighbouring zones never share a phase on an even ring.
+    phases = [zone.phase for zone in plan.zones]
+    for index in range(16):
+        assert phases[index] != phases[(index + 1) % 16]
+
+
+def test_odd_ring_needs_a_third_phase():
+    plan = plan_shards(8_500, 17, overlap=0.2)
+    assert plan.n_phases == 3
+    assert plan.interfered_zones == 0
+
+
+def test_capped_phases_fold_into_interference():
+    free = plan_shards(8_000, 16, overlap=0.2)
+    capped = plan_shards(8_000, 16, overlap=0.2, max_phases=1)
+    assert capped.n_phases == 1
+    assert capped.interfered_zones == 16
+    base = ChannelModel()
+    for zone in capped.zones:
+        assert zone.interference_load > 0.0
+        assert zone.channel != base
+        assert zone.channel.singleton_corrupt_prob > 0.0
+    for zone in free.zones:
+        assert zone.channel == base
+
+
+def test_zero_overlap_is_one_phase_and_clean_channels():
+    plan = plan_shards(5_000, 16, overlap=0.0)
+    assert plan.n_phases == 1
+    assert plan.overlap_pairs == ()
+    assert all(zone.n_tags == zone.exclusive_tags for zone in plan.zones)
+
+
+def test_frame_sizes_follow_mpr_analysis():
+    plan = plan_shards(10_000, 16, capability=4, overlap=0.1)
+    for zone in plan.zones:
+        assert zone.frame_size \
+            == mpr_optimal_frame_size(zone.n_tags, 4)
+
+
+def test_plan_is_deterministic():
+    a = plan_shards(9_999, 17, capability=3, overlap=0.13, max_phases=2)
+    b = plan_shards(9_999, 17, capability=3, overlap=0.13, max_phases=2)
+    assert a == b
+
+
+def test_interference_model_threads_through():
+    strong = InterferenceModel(singleton_corrupt_coeff=2.0, cap=0.9)
+    plan = plan_shards(8_000, 16, overlap=0.2, max_phases=1,
+                       interference=strong)
+    weak = plan_shards(8_000, 16, overlap=0.2, max_phases=1)
+    for loud, quiet in zip(plan.zones, weak.zones):
+        assert loud.channel.singleton_corrupt_prob \
+            > quiet.channel.singleton_corrupt_prob
+
+
+def test_plan_validates_inputs():
+    with pytest.raises(ValueError, match="n_tags"):
+        plan_shards(0, 4)
+    with pytest.raises(ValueError, match="zones"):
+        plan_shards(100, 0)
+    with pytest.raises(ValueError, match="overlap"):
+        plan_shards(100, 4, overlap=1.0)
+    with pytest.raises(ValueError, match="zones need"):
+        plan_shards(3, 4)
+    with pytest.raises(ValueError, match="max_phases"):
+        plan_shards(100, 4, max_phases=0)
+
+
+def test_phase_members_partition_the_zones():
+    plan = plan_shards(9_000, 17, overlap=0.2)
+    members = plan.phase_members()
+    assert len(members) == plan.n_phases
+    flattened = [zone for phase in members for zone in phase]
+    assert sorted(zone.index for zone in flattened) == list(range(17))
+    assert "17 zones" in plan.summary()

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.dynamics",
     "repro.experiments",
     "repro.kernels",
+    "repro.service",
     # Standalone modules registered as public API surfaces (lint rule
     # public-api, LintConfig.api_export_modules).
     "repro.experiments.executor",
